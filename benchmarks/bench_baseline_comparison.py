@@ -1,0 +1,113 @@
+"""Experiment E7 — BDLFI vs traditional fault injectors.
+
+The paper argues BDLFI "can subsume current source-level and
+debugger-level FIs". Under a matched single-bit fault model and a matched
+outcome definition (SDC = any prediction changed vs the golden run,
+finite outputs; DUE = non-finite outputs) we check:
+
+1. agreement — BDLFI's conditional (K=1) SDC estimate vs the random
+   injector's rate and the exhaustive sweep's ground truth;
+2. budget — forward passes each method spends for its interval.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.baselines import ExhaustiveBitInjector, RandomFaultInjector, compare_estimators, wilson_interval
+from repro.core import BayesianFaultInjector, StratifiedErrorEstimator
+from repro.faults import TargetSpec
+from repro.faults.injection import apply_configuration
+from repro.tensor import Tensor, no_grad
+
+INJECTIONS = 600
+
+
+def _bdlfi_single_flip_sdc(model, eval_x, injector, estimator, rng, n):
+    """SDC count over n BDLFI draws from the K=1 conditional law, using the
+    identical outcome taxonomy as the traditional injector."""
+    x = Tensor(np.asarray(eval_x, dtype=np.float32))
+    with no_grad():
+        golden_predictions = model(x).data.argmax(axis=1)
+    sdc = 0
+    for _ in range(n):
+        configuration = estimator.configuration_with_flips(1, rng)
+        with apply_configuration(model, configuration), no_grad(), np.errstate(all="ignore"):
+            logits = model(x).data
+        finite = bool(np.isfinite(logits).all())
+        changed = bool((logits.argmax(axis=1) != golden_predictions).any())
+        if finite and changed:
+            sdc += 1
+    return sdc
+
+
+def test_bdlfi_vs_traditional_fi(benchmark, golden_mlp_moons, moons_eval_batch, results_writer):
+    eval_x, eval_y = moons_eval_batch
+    spec = TargetSpec.weights_and_biases()
+
+    def run_all():
+        random_fi = RandomFaultInjector(golden_mlp_moons, eval_x, eval_y, spec=spec, seed=1)
+        random_campaign = random_fi.run(INJECTIONS)
+
+        exhaustive = ExhaustiveBitInjector(golden_mlp_moons, eval_x, eval_y, spec=spec, seed=2)
+        truth = exhaustive.run()  # full space: the ground-truth SDC rate
+
+        injector = BayesianFaultInjector(golden_mlp_moons, eval_x, eval_y, spec=spec, seed=3)
+        estimator = StratifiedErrorEstimator(injector, samples_per_stratum=1)
+        bdlfi_hits = _bdlfi_single_flip_sdc(
+            golden_mlp_moons, eval_x, injector, estimator, np.random.default_rng(4), INJECTIONS
+        )
+        return random_campaign, truth, bdlfi_hits
+
+    random_campaign, truth, bdlfi_hits = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    total_sites = sum(truth.count_by_bit.values())
+    truth_sdc_hits = int(round(sum(truth.sdc_by_bit[b] * truth.count_by_bit[b] for b in truth.sdc_by_bit)))
+    truth_rate = truth_sdc_hits / total_sites
+
+    random_hits = int(round(random_campaign.sdc_rate * len(random_campaign)))
+    agreement_random = compare_estimators(
+        "bdlfi(K=1)", bdlfi_hits, INJECTIONS, "random-fi", random_hits, len(random_campaign)
+    )
+    agreement_truth = compare_estimators(
+        "bdlfi(K=1)", bdlfi_hits, INJECTIONS, "exhaustive", truth_sdc_hits, total_sites
+    )
+
+    rows = [
+        {
+            "method": "exhaustive sweep (ground truth)",
+            "sdc_rate": truth_rate,
+            "ci_lo": wilson_interval(truth_sdc_hits, total_sites)[0],
+            "ci_hi": wilson_interval(truth_sdc_hits, total_sites)[1],
+            "forward_passes": total_sites,
+        },
+        {
+            "method": "random FI (Li et al. style)",
+            "sdc_rate": random_campaign.sdc_rate,
+            "ci_lo": random_campaign.sdc_interval()[0],
+            "ci_hi": random_campaign.sdc_interval()[1],
+            "forward_passes": len(random_campaign),
+        },
+        {
+            "method": "BDLFI conditional K=1",
+            "sdc_rate": bdlfi_hits / INJECTIONS,
+            "ci_lo": wilson_interval(bdlfi_hits, INJECTIONS)[0],
+            "ci_hi": wilson_interval(bdlfi_hits, INJECTIONS)[1],
+            "forward_passes": INJECTIONS,
+        },
+    ]
+    print("\n=== E7: single-bit SDC rate — BDLFI vs traditional injectors ===")
+    print(format_table(rows))
+    print(f"\nBDLFI vs random FI:   p={agreement_random.p_value:.3f} agree={agreement_random.agree}")
+    print(f"BDLFI vs exhaustive:  p={agreement_truth.p_value:.3f} agree={agreement_truth.agree}")
+
+    results_writer.write(
+        "E7_baseline_comparison",
+        {
+            "rows": rows,
+            "p_value_vs_random": agreement_random.p_value,
+            "p_value_vs_truth": agreement_truth.p_value,
+        },
+    )
+
+    assert agreement_random.agree
+    assert agreement_truth.agree

@@ -1,0 +1,71 @@
+"""Experiment E2 — Fig. 2: MLP classification error vs flip probability.
+
+Sweeps the paper's p grid (1e-5 … 1e-1) over the image-classification MLP,
+prints the error-vs-p series with the golden-run reference line, and
+verifies finding F2 (two regimes with a knee).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, line_plot
+from repro.core import BayesianFaultInjector, ProbabilitySweep
+from repro.faults import TargetSpec
+
+P_VALUES = tuple(np.logspace(-5, -1, 13))
+SAMPLES_PER_POINT = 150
+
+
+def test_fig2_mlp_error_vs_p(benchmark, golden_mlp_images, mlp_image_eval, results_writer):
+    eval_x, eval_y = mlp_image_eval
+    injector = BayesianFaultInjector(
+        golden_mlp_images, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=2019
+    )
+
+    sweep = benchmark.pedantic(
+        lambda: ProbabilitySweep(
+            injector, p_values=P_VALUES, samples=SAMPLES_PER_POINT, chains=2
+        ).run(),
+        rounds=1,
+        iterations=1,
+    )
+
+    fit = sweep.fit_regimes(truncate_saturation=True)
+    table = sweep.table()
+
+    print("\n=== Fig. 2: error injections in all layers of the MLP ===")
+    print(format_table(table))
+    print()
+    print(
+        line_plot(
+            sweep.probabilities(),
+            100 * sweep.errors(),
+            log_x=True,
+            title="Fig. 2 — MLP classification error (%) vs flip probability",
+            x_label="flip probability p",
+            y_label="% error (golden run dashed)",
+            reference=100 * sweep.golden_error,
+        )
+    )
+    print(
+        f"\nTwo-regime fit: knee at p={fit.knee_p:.2e}, flat slope "
+        f"{fit.slope_flat:+.4f}/decade, steep slope {fit.slope_steep:+.4f}/decade, "
+        f"F-test p={fit.f_test_p:.2e}"
+    )
+
+    results_writer.write(
+        "E2_fig2_mlp_sweep",
+        {
+            "p_values": np.asarray(P_VALUES),
+            "error": sweep.errors(),
+            "golden_error": sweep.golden_error,
+            "table": table,
+            "knee_p": fit.knee_p,
+            "slope_flat": fit.slope_flat,
+            "slope_steep": fit.slope_steep,
+        },
+    )
+
+    # Finding F2: two clear regimes around a knee.
+    assert fit.has_two_regimes
+    assert sweep.points[0].mean_error < sweep.golden_error + 0.02
+    assert sweep.points[-1].mean_error > sweep.golden_error + 0.15

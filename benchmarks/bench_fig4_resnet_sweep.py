@@ -1,0 +1,71 @@
+"""Experiment E4 — Fig. 4: ResNet-18 classification error vs flip probability.
+
+Same sweep as Fig. 2 on the ResNet-18: the golden-run error sits at a much
+higher baseline, and the same two-regime shape must appear.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, line_plot
+from repro.core import BayesianFaultInjector, ProbabilitySweep
+from repro.faults import TargetSpec
+
+# NOTE on the p range: the knee of the error-vs-p curve sits where the
+# expected number of catastrophic (high-exponent-bit) flips reaches O(1),
+# i.e. near 1/#parameters. Our ResNet-18 keeps the paper's topology at
+# reduced width (176k parameters vs 11M) *and* the paper's own axis is not
+# reconcilable with per-bit Bernoulli faults over all 11M weights — so we
+# sweep the range that exposes the full shape for this network:
+# flat regime, knee, steep rise (see EXPERIMENTS.md, E4 discussion).
+P_VALUES = tuple(np.logspace(-7.5, -2, 15))
+SAMPLES_PER_POINT = 40
+
+
+def test_fig4_resnet_error_vs_p(benchmark, golden_resnet_images, resnet_image_eval, results_writer):
+    eval_x, eval_y = resnet_image_eval
+    injector = BayesianFaultInjector(
+        golden_resnet_images, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=2019
+    )
+
+    sweep = benchmark.pedantic(
+        lambda: ProbabilitySweep(
+            injector, p_values=P_VALUES, samples=SAMPLES_PER_POINT, chains=2
+        ).run(),
+        rounds=1,
+        iterations=1,
+    )
+
+    fit = sweep.fit_regimes(truncate_saturation=True)
+    table = sweep.table()
+
+    print("\n=== Fig. 4: error injections in all layers of ResNet-18 ===")
+    print(format_table(table))
+    print()
+    print(
+        line_plot(
+            sweep.probabilities(),
+            100 * sweep.errors(),
+            log_x=True,
+            title="Fig. 4 — ResNet-18 classification error (%) vs flip probability",
+            x_label="flip probability p",
+            y_label="% error (golden run dashed)",
+            reference=100 * sweep.golden_error,
+        )
+    )
+    print(f"\nTwo-regime fit: knee at p={fit.knee_p:.2e} (F-test p={fit.f_test_p:.2e})")
+
+    results_writer.write(
+        "E4_fig4_resnet_sweep",
+        {
+            "p_values": np.asarray(P_VALUES),
+            "error": sweep.errors(),
+            "golden_error": sweep.golden_error,
+            "table": table,
+            "knee_p": fit.knee_p,
+        },
+    )
+
+    # Fig. 4's shape: elevated golden baseline + the same two regimes.
+    assert sweep.golden_error > 0.10  # harder task than the MLP's
+    assert fit.has_two_regimes
+    assert sweep.points[-1].mean_error > sweep.golden_error + 0.1

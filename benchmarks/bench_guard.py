@@ -1,0 +1,54 @@
+"""Ablation A8 — margin-based runtime guarding (finding F1 as a mechanism).
+
+Fault-induced misclassifications concentrate on low-confidence inputs
+(F1). A deployment can exploit that: flag inputs whose top-2 logit margin
+is below a calibrated threshold and route them to verified execution. The
+coverage curve — fraction of fault flips captured vs fraction of traffic
+flagged — quantifies the protection bought per unit of verification cost.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import BayesianFaultInjector
+from repro.faults import BernoulliBitFlipModel, TargetSpec
+from repro.protect import MarginGuard
+
+FLIP_P = 1e-4
+FLAG_FRACTIONS = (0.05, 0.1, 0.2, 0.4)
+SAMPLES = 250
+
+
+def test_margin_guard_coverage_curve(benchmark, golden_mlp_moons, moons_eval_batch, results_writer):
+    eval_x, eval_y = moons_eval_batch
+    injector = BayesianFaultInjector(
+        golden_mlp_moons, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=2019
+    )
+    guard = MarginGuard(golden_mlp_moons)
+
+    curve = benchmark.pedantic(
+        lambda: guard.coverage_curve(
+            eval_x,
+            BernoulliBitFlipModel(FLIP_P),
+            injector.parameter_targets,
+            flag_fractions=FLAG_FRACTIONS,
+            samples=SAMPLES,
+            rng=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [evaluation.summary_row() for evaluation in curve]
+    print(f"\n=== A8: margin-guard coverage curve (Bernoulli p={FLIP_P}) ===")
+    print(format_table(rows))
+    print("captured% > flagged% == the guard beats random triage (finding F1)")
+
+    results_writer.write("A8_margin_guard", {"rows": rows, "p": FLIP_P})
+
+    for evaluation in curve:
+        if np.isfinite(evaluation.capture_fraction):
+            assert evaluation.capture_fraction >= evaluation.flagged_fraction - 0.02
+    # At a modest 20% budget, the guard must capture meaningfully more.
+    at_20 = curve[2]
+    assert at_20.capture_fraction > at_20.flagged_fraction + 0.03

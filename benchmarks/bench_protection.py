@@ -1,0 +1,56 @@
+"""Ablation A5 — selective protection at the reliability knee.
+
+The paper pitches the knee of the error-vs-p curve as "the optimal
+performance-reliability trade-off" and calls for protecting what needs
+protecting. This bench quantifies the options: protection schemes of
+increasing overhead evaluated at a flip probability past the knee,
+including the gradient-allocated scheme from :mod:`repro.protect`.
+"""
+
+from repro.analysis import format_table
+from repro.core import BayesianFaultInjector
+from repro.faults import TargetSpec
+from repro.protect import ProtectionScheme, allocate_protection, evaluate_scheme
+from repro.sensitivity import TaylorSensitivity
+
+FLIP_P = 5e-3
+SAMPLES = 150
+
+
+def test_protection_schemes(benchmark, golden_mlp_moons, moons_eval_batch, results_writer):
+    eval_x, eval_y = moons_eval_batch
+    injector = BayesianFaultInjector(
+        golden_mlp_moons, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=2019
+    )
+    sensitivity = TaylorSensitivity(golden_mlp_moons, eval_x, eval_y, injector.parameter_targets)
+
+    schemes = {
+        "none": ProtectionScheme.none(),
+        "sign only (3% overhead)": ProtectionScheme.field_everywhere("sign"),
+        "exponent only (25%)": ProtectionScheme.field_everywhere("exponent"),
+        "allocated @30% budget": allocate_protection(sensitivity, budget_fraction=0.30),
+        "full ECC (100%)": ProtectionScheme.full(),
+    }
+
+    def run_all():
+        return {
+            name: evaluate_scheme(injector, scheme, FLIP_P, samples=SAMPLES)
+            for name, scheme in schemes.items()
+        }
+
+    comparisons = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [{"scheme": name, **comparison.summary_row()} for name, comparison in comparisons.items()]
+    print(f"\n=== A5: protection schemes at p={FLIP_P} ===")
+    print(format_table(rows))
+
+    results_writer.write("A5_protection", {"rows": rows, "p": FLIP_P})
+
+    assert comparisons["full ECC (100%)"].recovery_fraction > 0.95
+    assert comparisons["exponent only (25%)"].recovery_fraction > 0.5
+    # Gradient-guided allocation must beat the uniform exponent scheme at
+    # comparable overhead (it also covers the worst sign/mantissa sites).
+    assert (
+        comparisons["allocated @30% budget"].protected_error
+        <= comparisons["exponent only (25%)"].protected_error + 0.02
+    )

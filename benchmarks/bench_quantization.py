@@ -1,0 +1,90 @@
+"""Ablation A6 — fixed-point vs floating-point fault resilience.
+
+The paper: "All network parameters, inputs, and outputs are encoded as
+32-bit floating point numbers. BDLFI can also be extended to other fault
+models." The most consequential other model is int8 storage (the norm on
+the embedded accelerators the paper targets). At equal per-bit AVF, int8
+weights should be far more resilient: the code space has no exponent
+field, so no single flip can push a weight beyond ±128·scale — reproducing
+the fixed-point finding of Li et al. SC'17 and Ares.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, multi_line_plot
+from repro.core import BayesianFaultInjector
+from repro.faults import TargetSpec
+from repro.nn import paper_mlp
+from repro.quant import QuantizedBitFlipModel, quantize_model
+
+P_VALUES = (1e-4, 1e-3, 1e-2, 1e-1)
+SAMPLES = 120
+
+
+def test_float32_vs_int8_resilience(benchmark, golden_mlp_moons, moons_eval_batch, results_writer):
+    eval_x, eval_y = moons_eval_batch
+    spec = TargetSpec.weights_and_biases()
+
+    # The deployed int8 twin of the golden network.
+    quantized = paper_mlp(rng=0)
+    quantized.load_state_dict(golden_mlp_moons.state_dict())
+    report = quantize_model(quantized)
+    quantized.eval()
+
+    float_injector = BayesianFaultInjector(golden_mlp_moons, eval_x, eval_y, spec=spec, seed=2019)
+    int8_injector = BayesianFaultInjector(quantized, eval_x, eval_y, spec=spec, seed=2019)
+
+    def run_all():
+        rows = []
+        for p in P_VALUES:
+            float_campaign = float_injector.forward_campaign(p, samples=SAMPLES)
+            int8_campaign = int8_injector.forward_campaign(
+                p, samples=SAMPLES, fault_model=QuantizedBitFlipModel(p, report.scales), stream="int8"
+            )
+            rows.append(
+                {
+                    "p": p,
+                    "float32_excess_pct": 100 * float_campaign.posterior.excess_error,
+                    "int8_excess_pct": 100 * int8_campaign.posterior.excess_error,
+                    "float32_flips": float_campaign.mean_flips,
+                    "int8_flips": int8_campaign.mean_flips,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print("\n=== A6: excess classification error, float32 vs int8 storage ===")
+    print(f"(int8 golden error {int8_injector.golden_error:.2%} vs float32 "
+          f"{float_injector.golden_error:.2%}; quantisation cost "
+          f"{abs(int8_injector.golden_error - float_injector.golden_error):.2%})")
+    print(format_table(rows))
+    print()
+    print(
+        multi_line_plot(
+            np.asarray(P_VALUES),
+            {
+                "float32": np.asarray([row["float32_excess_pct"] for row in rows]),
+                "int8": np.asarray([row["int8_excess_pct"] for row in rows]),
+            },
+            log_x=True,
+            title="excess error (%) vs per-bit flip probability",
+            x_label="p",
+        )
+    )
+
+    results_writer.write(
+        "A6_quantization",
+        {
+            "rows": rows,
+            "float32_golden": float_injector.golden_error,
+            "int8_golden": int8_injector.golden_error,
+        },
+    )
+
+    # int8 storage keeps quantisation accuracy close to float
+    assert abs(int8_injector.golden_error - float_injector.golden_error) < 0.05
+    # and is more resilient per bit at every damaging probability.
+    for row in rows:
+        if row["float32_excess_pct"] > 2.0:
+            assert row["int8_excess_pct"] < row["float32_excess_pct"]

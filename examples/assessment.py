@@ -1,0 +1,39 @@
+"""One-call resilience assessment.
+
+``assess_model`` runs the full BDLFI battery — golden run, probability
+sweep with knee detection, masked/SDC/DUE outcome taxonomy at the knee,
+gradient bit-field sensitivity, and per-layer vulnerability — and renders
+the result as a markdown report a reliability engineer can file.
+
+Run:  python examples/assessment.py
+"""
+
+from repro.core import assess_model
+from repro.data import ArrayDataset, DataLoader, two_moons
+from repro.nn import paper_mlp
+from repro.train import Adam, Trainer
+
+
+def main() -> None:
+    train_x, train_y = two_moons(800, noise=0.12, rng=0)
+    model = paper_mlp(rng=0)
+    Trainer(model, Adam(model.parameters(), lr=0.01)).fit(
+        DataLoader(ArrayDataset(train_x, train_y), batch_size=32, shuffle=True, rng=1),
+        epochs=40,
+    )
+    eval_x, eval_y = two_moons(300, noise=0.12, rng=5)
+
+    assessment = assess_model(
+        model,
+        eval_x,
+        eval_y,
+        seed=2019,
+        samples_per_point=120,
+        outcome_samples=200,
+        layerwise_samples=60,
+    )
+    print(assessment.to_markdown())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Campaign completeness via MCMC mixing (paper advantage #1).
+
+Shows the diagnostics BDLFI uses to decide when an injection campaign is
+complete — split-R̂ (Gelman–Rubin), effective sample size, and Monte-Carlo
+standard error — converging as chains grow, and the adaptive campaign
+stopping as soon as the criterion fires.
+
+Run:  python examples/completeness.py
+"""
+
+from repro.analysis import format_table
+from repro.core import BayesianFaultInjector
+from repro.data import ArrayDataset, DataLoader, two_moons
+from repro.faults import TargetSpec
+from repro.mcmc import CompletenessCriterion, effective_sample_size, split_r_hat
+from repro.nn import paper_mlp
+from repro.train import Adam, Trainer
+
+
+def main() -> None:
+    train_x, train_y = two_moons(800, noise=0.12, rng=0)
+    model = paper_mlp(rng=0)
+    Trainer(model, Adam(model.parameters(), lr=0.01)).fit(
+        DataLoader(ArrayDataset(train_x, train_y), batch_size=32, shuffle=True, rng=1),
+        epochs=40,
+    )
+
+    eval_x, eval_y = two_moons(300, noise=0.12, rng=5)
+    injector = BayesianFaultInjector(
+        model, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+    )
+
+    # A 4-chain MCMC campaign; watch the diagnostics as the chains grow.
+    campaign = injector.mcmc_campaign(p=5e-3, chains=4, steps=500)
+    matrix = campaign.chains.matrix()
+    rows = []
+    for steps in (25, 50, 100, 200, 350, 500):
+        prefix = matrix[:, :steps]
+        rows.append(
+            {
+                "steps/chain": steps,
+                "R-hat": round(split_r_hat(prefix), 4),
+                "ESS": round(effective_sample_size(prefix), 1),
+                "estimate_%": round(100 * prefix.mean(), 2),
+            }
+        )
+    print("mixing diagnostics as the campaign grows (4 MH chains):")
+    print(format_table(rows))
+
+    # The stopping rule in action: stop as soon as further injections
+    # cannot move the measured hypothesis by more than the tolerance.
+    criterion = CompletenessCriterion(r_hat_threshold=1.05, min_ess=100, stderr_tolerance=0.01)
+    adaptive = injector.run_until_complete(
+        p=5e-3, criterion=criterion, chains=4, batch_steps=50, max_steps=2000
+    )
+    print(f"\nadaptive campaign: {adaptive.completeness}")
+    print(f"stopped after {adaptive.total_evaluations} forward passes "
+          f"(a naive fixed-N campaign would guess a budget in advance)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Layer-by-layer injection into ResNet-18 (paper Fig. 3, finding F3).
+
+Trains a reduced-width ResNet-18 (identical topology to the paper's
+network) on the procedural image dataset, then injects faults into one
+layer at a time and tests whether layer depth predicts vulnerability.
+The paper — contradicting Li et al. SC'17 — finds it does not.
+
+Expect a few minutes of CPU time (it trains a ResNet from scratch).
+
+Run:  python examples/resnet_layerwise.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table, rank_correlation, scatter_plot
+from repro.core import LayerwiseCampaign
+from repro.data import DataLoader, SyntheticImageConfig, make_synthetic_images
+from repro.nn.models import resnet18_cifar_small
+from repro.train import Adam, Trainer
+
+
+def main() -> None:
+    config = SyntheticImageConfig(image_size=12, noise=4.5, seed=11)
+    train_set, test_set = make_synthetic_images(config, 2000, 300)
+
+    model = resnet18_cifar_small(num_classes=config.num_classes, rng=0)
+    print(f"training ResNet-18 ({model.num_parameters():,} parameters) ...")
+    result = Trainer(model, Adam(model.parameters(), lr=2e-3)).fit(
+        DataLoader(train_set, batch_size=64, shuffle=True, rng=3),
+        epochs=6,
+        val_loader=DataLoader(test_set, batch_size=200),
+    )
+    print(f"golden accuracy: {result.final_val_accuracy:.1%}")
+
+    campaign = LayerwiseCampaign(
+        model,
+        test_set.features[:64],
+        test_set.labels[:64],
+        p=1e-4,
+        samples=25,
+        chains=1,
+        seed=0,
+    ).run()
+
+    table = campaign.table()
+    print(format_table(table, columns=["depth", "layer", "error_pct", "parameters"]))
+
+    depths = np.asarray([row["depth"] for row in table], dtype=float)
+    errors = np.asarray([row["error_pct"] for row in table], dtype=float)
+    print(scatter_plot(depths, errors, title="error (%) vs injected-layer depth", marker="x"))
+
+    depth_stats = campaign.depth_correlation()
+    print(f"\ndepth vs error:  Spearman rho = {depth_stats['spearman_rho']:+.3f} "
+          f"(p = {depth_stats['spearman_p']:.3f})  -> finding F3: no depth relationship")
+
+    # What *does* predict vulnerability? Layer size.
+    sizes = np.asarray([row["parameters"] for row in table], dtype=float)
+    size_stats = rank_correlation(sizes, errors)
+    print(f"size  vs error:  Spearman rho = {size_stats['spearman_rho']:+.3f} "
+          f"(p = {size_stats['spearman_p']:.2e})  -> exposure scales with stored bits")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so pip's PEP-517
+editable path (which shells out to ``bdist_wheel``) fails. This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``python setup.py develop``) work; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,213 @@
+"""Terminal renderings of the paper's figures.
+
+No plotting stack exists offline, so the benchmark harnesses draw each
+figure in ASCII: line plots for the error-vs-p sweeps (Figs. 2 and 4), a
+bar-per-layer plot for Fig. 3, and a character-ramp heatmap for the
+decision-boundary field of Fig. 1 ③.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["line_plot", "multi_line_plot", "scatter_plot", "histogram_plot", "heatmap"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, steps: int) -> np.ndarray:
+    if hi <= lo:
+        return np.zeros(len(values), dtype=int)
+    scaled = (np.asarray(values, dtype=np.float64) - lo) / (hi - lo) * (steps - 1)
+    return np.clip(np.round(scaled), 0, steps - 1).astype(int)
+
+
+def line_plot(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 70,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+    reference: float | None = None,
+) -> str:
+    """Render a single series; ``reference`` draws a horizontal marker line
+    (used for the golden-run error in Figs. 2 and 4)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1 or x.size == 0:
+        raise ValueError("x and y must be aligned non-empty 1-D arrays")
+    plot_x = np.log10(x) if log_x else x
+    y_all = np.append(y, reference) if reference is not None else y
+    y_lo, y_hi = float(np.min(y_all)), float(np.max(y_all))
+    pad = (y_hi - y_lo) * 0.05 or 1.0
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+
+    grid = [[" "] * width for _ in range(height)]
+    if reference is not None:
+        ref_row = height - 1 - _scale(np.asarray([reference]), y_lo, y_hi, height)[0]
+        for col in range(width):
+            grid[ref_row][col] = "-"
+    cols = _scale(plot_x, float(plot_x.min()), float(plot_x.max()), width)
+    rows = height - 1 - _scale(y, y_lo, y_hi, height)
+    for i in range(len(x) - 1):
+        _draw_segment(grid, cols[i], rows[i], cols[i + 1], rows[i + 1])
+    for col, row in zip(cols, rows):
+        grid[row][col] = "o"
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    for r, row in enumerate(grid):
+        label = ""
+        if r == 0:
+            label = f"{y_hi:8.2f} "
+        elif r == height - 1:
+            label = f"{y_lo:8.2f} "
+        lines.append(f"{label:>9}|" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_lo_txt = f"{x.min():.1e}" if log_x else f"{x.min():.2f}"
+    x_hi_txt = f"{x.max():.1e}" if log_x else f"{x.max():.2f}"
+    axis = f"{x_lo_txt}  {x_label}  {x_hi_txt}".center(width)
+    lines.append(" " * 10 + axis)
+    if reference is not None:
+        lines.append(" " * 10 + f"(---- reference: {reference:.3f} {y_label})".center(width))
+    return "\n".join(lines)
+
+
+def multi_line_plot(
+    x: np.ndarray,
+    series: dict[str, np.ndarray],
+    width: int = 70,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "x",
+    log_x: bool = False,
+) -> str:
+    """Overlay several series on shared axes, one marker per series.
+
+    Used for head-to-head figures (e.g. float32 vs int8 resilience,
+    protected vs unprotected campaigns). Up to 6 series; the legend maps
+    markers to names.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if not series:
+        raise ValueError("series must be non-empty")
+    if len(series) > 6:
+        raise ValueError(f"at most 6 series supported, got {len(series)}")
+    markers = "o*x+#%"
+    values = {name: np.asarray(v, dtype=np.float64) for name, v in series.items()}
+    for name, v in values.items():
+        if v.shape != x.shape:
+            raise ValueError(f"series {name!r} shape {v.shape} does not match x {x.shape}")
+
+    plot_x = np.log10(x) if log_x else x
+    all_y = np.concatenate(list(values.values()))
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    pad = (y_hi - y_lo) * 0.05 or 1.0
+    y_lo, y_hi = y_lo - pad, y_hi + pad
+
+    grid = [[" "] * width for _ in range(height)]
+    cols = _scale(plot_x, float(plot_x.min()), float(plot_x.max()), width)
+    for marker, (name, y) in zip(markers, values.items()):
+        rows = height - 1 - _scale(y, y_lo, y_hi, height)
+        for i in range(len(x) - 1):
+            _draw_segment(grid, cols[i], rows[i], cols[i + 1], rows[i + 1])
+        for col, row in zip(cols, rows):
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    for r, row in enumerate(grid):
+        label = f"{y_hi:8.2f} " if r == 0 else (f"{y_lo:8.2f} " if r == height - 1 else "")
+        lines.append(f"{label:>9}|" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    x_lo_txt = f"{x.min():.1e}" if log_x else f"{x.min():.2f}"
+    x_hi_txt = f"{x.max():.1e}" if log_x else f"{x.max():.2f}"
+    lines.append(" " * 10 + f"{x_lo_txt}  {x_label}  {x_hi_txt}".center(width))
+    legend = "   ".join(f"'{marker}' = {name}" for marker, name in zip(markers, values))
+    lines.append(" " * 10 + legend.center(width))
+    return "\n".join(lines)
+
+
+def _draw_segment(grid: list[list[str]], c0: int, r0: int, c1: int, r1: int) -> None:
+    steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+    for t in range(steps + 1):
+        col = round(c0 + (c1 - c0) * t / steps)
+        row = round(r0 + (r1 - r0) * t / steps)
+        if grid[row][col] == " ":
+            grid[row][col] = "."
+
+
+def scatter_plot(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 70,
+    height: int = 18,
+    title: str = "",
+    marker: str = "x",
+) -> str:
+    """Point cloud (used for the layerwise error-vs-depth view of Fig. 3)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.size == 0:
+        raise ValueError("x and y must be aligned non-empty arrays")
+    grid = [[" "] * width for _ in range(height)]
+    y_lo, y_hi = float(y.min()), float(y.max())
+    pad = (y_hi - y_lo) * 0.05 or 1.0
+    cols = _scale(x, float(x.min()), float(x.max()), width)
+    rows = height - 1 - _scale(y, y_lo - pad, y_hi + pad, height)
+    for col, row in zip(cols, rows):
+        grid[row][col] = marker
+    lines = [title.center(width)] if title else []
+    lines.append(f"{y_hi + pad:8.2f} " + "")
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{y_lo - pad:8.2f} " + "+" + "-" * width)
+    return "\n".join(lines)
+
+
+def histogram_plot(
+    counts: np.ndarray, edges: np.ndarray, width: int = 50, title: str = ""
+) -> str:
+    """Horizontal-bar histogram (the error distribution of Fig. 1 ③)."""
+    counts = np.asarray(counts)
+    edges = np.asarray(edges)
+    if len(edges) != len(counts) + 1:
+        raise ValueError("edges must be one longer than counts")
+    peak = counts.max() if counts.size else 1
+    lines = [title] if title else []
+    for i, count in enumerate(counts):
+        bar = "#" * int(math.ceil(width * count / peak)) if peak else ""
+        lines.append(f"[{edges[i]:7.3f}, {edges[i+1]:7.3f})  {bar} {count}")
+    return "\n".join(lines)
+
+
+def heatmap(values: np.ndarray, title: str = "", legend: str = "") -> str:
+    """Character-ramp rendering of a 2-D field (Fig. 1 ③ error-probability map)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError(f"heatmap expects a 2-D array, got shape {values.shape}")
+    finite = values[np.isfinite(values)]
+    lo = float(finite.min()) if finite.size else 0.0
+    hi = float(finite.max()) if finite.size else 1.0
+    span = hi - lo or 1.0
+    lines = [title] if title else []
+    for row in values[::-1]:  # render with y increasing upward
+        chars = []
+        for v in row:
+            if not np.isfinite(v):
+                chars.append("?")
+            else:
+                chars.append(_RAMP[int((v - lo) / span * (len(_RAMP) - 1))])
+        lines.append("".join(chars))
+    footer = f"scale: '{_RAMP[0]}'={lo:.3g} .. '{_RAMP[-1]}'={hi:.3g}"
+    if legend:
+        footer += f"  ({legend})"
+    lines.append(footer)
+    return "\n".join(lines)

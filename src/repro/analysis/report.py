@@ -1,0 +1,78 @@
+"""Table formatting and result persistence for the experiment harnesses."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "ResultWriter"]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0 or (1e-3 <= abs(value) < 1e5):
+            return f"{value:.4g}"
+        return f"{value:.3e}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(empty table)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(row[i]) for row in cells)) for i, col in enumerate(columns)]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in cells
+    ]
+    return "\n".join([header, rule, *body])
+
+
+def format_series(name: str, x: np.ndarray, y: np.ndarray, x_name: str = "x", y_name: str = "y") -> str:
+    """Compact two-column listing of a figure series."""
+    lines = [f"{name}:", f"  {x_name:>12}  {y_name:>12}"]
+    for xi, yi in zip(np.asarray(x), np.asarray(y)):
+        lines.append(f"  {_fmt(float(xi)):>12}  {_fmt(float(yi)):>12}")
+    return "\n".join(lines)
+
+
+class ResultWriter:
+    """Persist experiment outputs under a results directory as JSON.
+
+    Arrays are converted to lists; every record is stamped with the
+    experiment id so EXPERIMENTS.md can cite files directly.
+    """
+
+    def __init__(self, directory: str = "results") -> None:
+        self.directory = directory
+
+    def write(self, experiment_id: str, payload: Mapping[str, object]) -> str:
+        os.makedirs(self.directory, exist_ok=True)
+        path = os.path.join(self.directory, f"{experiment_id}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"experiment": experiment_id, **payload}, handle, indent=2, default=_jsonify)
+        return path
+
+    def read(self, experiment_id: str) -> dict:
+        path = os.path.join(self.directory, f"{experiment_id}.json")
+        with open(path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+
+def _jsonify(value: object):
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    raise TypeError(f"cannot serialise {type(value).__name__}")

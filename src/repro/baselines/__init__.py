@@ -1,0 +1,38 @@
+"""Traditional fault-injection baselines.
+
+The paper positions BDLFI against the established injectors — source-level
+(Ares, Reagen et al. DAC'18), instrumentation-level (TensorFI, Li et al.
+ISSREW'18), and the accelerator study whose depth-sensitivity conclusion
+Fig. 3 challenges (Li et al. SC'17). This package implements their
+methodologies on our substrate:
+
+* :class:`~repro.baselines.random_fi.RandomFaultInjector` — N independent
+  runs, each injecting one random single-bit flip and classifying the
+  outcome as masked / SDC / DUE;
+* :class:`~repro.baselines.exhaustive.ExhaustiveBitInjector` — Ares-style
+  static sweep over every (element, bit) of selected tensors;
+* :mod:`~repro.baselines.compare` — head-to-head statistics: agreement of
+  estimates and confidence-interval width per forward pass, reproducing
+  the paper's "subsumes traditional FI" argument (experiment E7).
+"""
+
+from repro.baselines.random_fi import (
+    InjectionOutcome,
+    InjectionRecord,
+    RandomFaultInjector,
+    RandomFICampaign,
+)
+from repro.baselines.exhaustive import ExhaustiveBitInjector, BitPositionSensitivity
+from repro.baselines.compare import EstimatorComparison, compare_estimators, wilson_interval
+
+__all__ = [
+    "InjectionOutcome",
+    "InjectionRecord",
+    "RandomFaultInjector",
+    "RandomFICampaign",
+    "ExhaustiveBitInjector",
+    "BitPositionSensitivity",
+    "EstimatorComparison",
+    "compare_estimators",
+    "wilson_interval",
+]

@@ -1,0 +1,36 @@
+"""Probabilistic-programming layer: distributions and Bayesian networks.
+
+The paper encodes its fault model "in a Bayesian Network ... for each neuron
+in the NN" (Fig. 1 ②): Bernoulli variables b₁..b₃₂ per stored float, a
+deterministic XOR transform to the faulted weights, the deterministic
+forward computation, and the output distribution. This package provides the
+formalism — distribution objects with ``sample``/``log_prob`` and a directed
+graphical model with ancestral sampling and joint densities — that
+:mod:`repro.core.bayesian_network` instantiates for a concrete trained
+network, and that the :mod:`repro.mcmc` kernels target.
+"""
+
+from repro.bayes.distributions import (
+    Distribution,
+    Bernoulli,
+    Binomial,
+    Categorical,
+    Normal,
+    Beta,
+    PoissonBinomial,
+)
+from repro.bayes.graph import BayesianNetwork, RandomVariable, Deterministic, Trace
+
+__all__ = [
+    "Distribution",
+    "Bernoulli",
+    "Binomial",
+    "Categorical",
+    "Normal",
+    "Beta",
+    "PoissonBinomial",
+    "BayesianNetwork",
+    "RandomVariable",
+    "Deterministic",
+    "Trace",
+]

@@ -1,0 +1,166 @@
+"""Directed graphical models (Bayesian networks).
+
+A network is a DAG of nodes, each either
+
+* a :class:`RandomVariable` — its distribution may depend on parent values
+  (supply a callable ``parents → Distribution``), or
+* a :class:`Deterministic` — a pure function of parent values (the XOR
+  fault transform and the neural forward pass are deterministic nodes).
+
+Supports ancestral sampling into a :class:`Trace` and evaluating the joint
+log-density of a trace. :mod:`repro.core.bayesian_network` builds the
+paper's per-neuron failure model (Fig. 1 ②) out of these pieces.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.bayes.distributions import Distribution
+
+__all__ = ["RandomVariable", "Deterministic", "BayesianNetwork", "Trace"]
+
+
+class Trace(dict):
+    """A realisation of every node in a network: name → value."""
+
+    def __repr__(self) -> str:
+        return f"Trace({list(self.keys())})"
+
+
+class _Node:
+    def __init__(self, name: str, parents: tuple[str, ...]) -> None:
+        if not name:
+            raise ValueError("node name must be non-empty")
+        self.name = name
+        self.parents = tuple(parents)
+
+
+class RandomVariable(_Node):
+    """A stochastic node.
+
+    ``distribution`` is either a :class:`Distribution` (no parent
+    dependence) or a callable mapping the dict of parent values to one.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        distribution: Distribution | Callable[[Mapping[str, object]], Distribution],
+        parents: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(name, parents)
+        self._distribution = distribution
+
+    def resolve(self, parent_values: Mapping[str, object]) -> Distribution:
+        if isinstance(self._distribution, Distribution):
+            return self._distribution
+        return self._distribution(parent_values)
+
+
+class Deterministic(_Node):
+    """A node computed as a pure function of its parents."""
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Mapping[str, object]], object],
+        parents: tuple[str, ...],
+    ) -> None:
+        super().__init__(name, parents)
+        self.fn = fn
+
+
+class BayesianNetwork:
+    """A DAG of random and deterministic nodes with ancestral sampling."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, _Node] = {}
+        self._order: list[str] | None = None
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    def add(self, node: _Node) -> "BayesianNetwork":
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        for parent in node.parents:
+            if parent not in self._nodes:
+                raise ValueError(f"node {node.name!r} references unknown parent {parent!r}")
+        self._nodes[node.name] = node
+        self._order = None
+        return self
+
+    def random_variable(self, name: str, distribution, parents: tuple[str, ...] = ()) -> "BayesianNetwork":
+        return self.add(RandomVariable(name, distribution, parents))
+
+    def deterministic(self, name: str, fn, parents: tuple[str, ...]) -> "BayesianNetwork":
+        return self.add(Deterministic(name, fn, parents))
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> _Node:
+        return self._nodes[name]
+
+    def topological_order(self) -> list[str]:
+        """Node names in dependency order (parents precede children).
+
+        Insertion already guarantees acyclicity (parents must pre-exist),
+        so insertion order *is* a topological order; kept as a method for
+        interface clarity and future node mutation support.
+        """
+        if self._order is None:
+            self._order = list(self._nodes)
+        return self._order
+
+    def random_variables(self) -> list[str]:
+        return [n for n, node in self._nodes.items() if isinstance(node, RandomVariable)]
+
+    # ------------------------------------------------------------------ #
+    # inference primitives
+    # ------------------------------------------------------------------ #
+
+    def sample(self, rng: np.random.Generator, given: Mapping[str, object] | None = None) -> Trace:
+        """Ancestral sample: draw every node top-down, honouring ``given`` clamps."""
+        trace = Trace(given or {})
+        for name in self.topological_order():
+            if name in trace:
+                continue
+            node = self._nodes[name]
+            parent_values = {p: trace[p] for p in node.parents}
+            if isinstance(node, RandomVariable):
+                trace[name] = node.resolve(parent_values).sample(rng)
+            else:
+                trace[name] = node.fn(parent_values)
+        return trace
+
+    def log_prob(self, trace: Mapping[str, object]) -> float:
+        """Joint log-density of the stochastic nodes in ``trace``.
+
+        Deterministic nodes contribute no density but must be present (or
+        recomputable) so child distributions can condition on them.
+        """
+        values = dict(trace)
+        total = 0.0
+        for name in self.topological_order():
+            node = self._nodes[name]
+            parent_values = {p: values[p] for p in node.parents}
+            if isinstance(node, Deterministic):
+                if name not in values:
+                    values[name] = node.fn(parent_values)
+                continue
+            if name not in values:
+                raise KeyError(f"trace missing value for random variable {name!r}")
+            total += float(np.sum(node.resolve(parent_values).log_prob(values[name])))
+        return total

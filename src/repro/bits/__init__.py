@@ -1,0 +1,54 @@
+"""IEEE-754 float32 bit manipulation.
+
+The paper's fault model operates on the 32-bit floating-point encodings of
+network parameters, inputs, and activations: "each bit error is treated as a
+Bernoulli random variable with probability p" and corrupted values are
+produced "by performing bitwise-XOR operations with flipped bits". This
+package provides the exact, vectorised machinery for that:
+
+* reinterpretation between float32 arrays and uint32 bit patterns,
+* XOR application of flip masks,
+* efficient sampling of i.i.d. Bernoulli bit masks (sparse at small p), and
+* IEEE-754 field decomposition (sign / exponent / mantissa) for the
+  bit-position sensitivity ablation.
+"""
+
+from repro.bits.float32 import (
+    BITS_PER_FLOAT,
+    float_to_bits,
+    bits_to_float,
+    apply_bit_mask,
+    flip_bit,
+    sample_bernoulli_mask,
+    sample_flip_positions,
+    positions_to_mask,
+    mask_to_positions,
+    count_set_bits,
+)
+from repro.bits.fields import (
+    SIGN_BIT,
+    EXPONENT_BITS,
+    MANTISSA_BITS,
+    bit_field,
+    field_mask,
+    describe_flip,
+)
+
+__all__ = [
+    "BITS_PER_FLOAT",
+    "float_to_bits",
+    "bits_to_float",
+    "apply_bit_mask",
+    "flip_bit",
+    "sample_bernoulli_mask",
+    "sample_flip_positions",
+    "positions_to_mask",
+    "mask_to_positions",
+    "count_set_bits",
+    "SIGN_BIT",
+    "EXPONENT_BITS",
+    "MANTISSA_BITS",
+    "bit_field",
+    "field_mask",
+    "describe_flip",
+]

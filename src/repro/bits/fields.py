@@ -1,0 +1,71 @@
+"""IEEE-754 single-precision field semantics.
+
+Bit layout (bit 0 = least significant):
+
+====  =========  ==========================================
+bits  field      effect of a flip
+====  =========  ==========================================
+0–22  mantissa   relative error up to ~12 % (bit 22) down to 2⁻²³
+23–30 exponent   multiplies magnitude by 2^(±2^k); bit 30 is catastrophic
+31    sign       negates the value
+====  =========  ==========================================
+
+The bit-position ablation (experiment A1) uses these helpers to explain
+*why* most Bernoulli flips are benign: 23 of 32 lanes are mantissa bits
+whose effect on a trained weight is numerically tiny.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits.float32 import flip_bit
+
+__all__ = ["SIGN_BIT", "EXPONENT_BITS", "MANTISSA_BITS", "bit_field", "field_mask", "describe_flip"]
+
+SIGN_BIT = 31
+EXPONENT_BITS = tuple(range(23, 31))
+MANTISSA_BITS = tuple(range(0, 23))
+
+
+def bit_field(bit: int) -> str:
+    """Classify a bit index as ``"sign"``, ``"exponent"``, or ``"mantissa"``."""
+    if not 0 <= bit < 32:
+        raise ValueError(f"bit must be in [0, 32), got {bit}")
+    if bit == SIGN_BIT:
+        return "sign"
+    if bit >= 23:
+        return "exponent"
+    return "mantissa"
+
+
+def field_mask(field: str) -> np.uint32:
+    """uint32 mask with all bits of the named field set."""
+    if field == "sign":
+        return np.uint32(1 << SIGN_BIT)
+    if field == "exponent":
+        return np.uint32(sum(1 << b for b in EXPONENT_BITS))
+    if field == "mantissa":
+        return np.uint32(sum(1 << b for b in MANTISSA_BITS))
+    raise ValueError(f"unknown field {field!r}; expected sign/exponent/mantissa")
+
+
+def describe_flip(value: float, bit: int) -> dict[str, object]:
+    """Report the numerical consequence of flipping ``bit`` in ``value``.
+
+    Returns a dict with the flipped value, the field name, absolute and
+    relative magnitude change, and whether the result is non-finite —
+    the raw material for the A1 ablation tables.
+    """
+    flipped = flip_bit(value, bit)
+    abs_change = abs(flipped - value)
+    denom = abs(value) if value != 0.0 else 1.0
+    return {
+        "original": float(np.float32(value)),
+        "flipped": flipped,
+        "bit": bit,
+        "field": bit_field(bit),
+        "abs_change": abs_change,
+        "rel_change": abs_change / denom,
+        "non_finite": bool(not np.isfinite(flipped)),
+    }

@@ -1,0 +1,319 @@
+"""Command-line interface: golden-run training and injection campaigns.
+
+Usage (after ``pip install -e .``):
+
+.. code-block:: console
+
+   python -m repro train mlp-moons --out golden.npz
+   python -m repro campaign golden.npz --workbench mlp-moons --p 1e-3
+   python -m repro sweep golden.npz --workbench mlp-moons
+   python -m repro layerwise golden.npz --workbench mlp-moons --p 5e-3
+   python -m repro boundary golden.npz --workbench mlp-moons
+
+A *workbench* bundles a model architecture with its matched dataset, both
+reproducible from seeds, so a checkpoint plus a workbench name fully
+determines an experiment. Available workbenches: ``mlp-moons`` (the paper's
+Fig. 1 MLP on two-moons), ``mlp-images`` (small image MLP, Fig. 2 setup),
+``resnet-images`` (reduced-width ResNet-18, Figs. 3/4 setup), and
+``lenet-images``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis import format_table, heatmap, line_plot
+from repro.core import BayesianFaultInjector, DecisionBoundaryAnalysis, LayerwiseCampaign, ProbabilitySweep
+from repro.data import ArrayDataset, DataLoader, SyntheticImageConfig, make_synthetic_images, two_moons
+from repro.faults import BernoulliBitFlipModel, TargetSpec
+from repro.nn import LeNet, MLP, paper_mlp
+from repro.nn.models import resnet18_cifar_small
+from repro.nn.module import Module
+from repro.train import Adam, Trainer, load_checkpoint, save_checkpoint
+
+__all__ = ["main", "build_parser", "WORKBENCHES", "Workbench"]
+
+
+@dataclass(frozen=True)
+class Workbench:
+    """A named, reproducible (model, dataset) experiment setup."""
+
+    name: str
+    build_model: Callable[[], Module]
+    build_data: Callable[[int, int], tuple]  # (train_size, eval_size) → datasets
+    default_epochs: int
+    lr: float
+    #: 2-D input window for the boundary command, or None if unsupported
+    boundary_window: tuple[float, float, float, float] | None = None
+
+
+def _moons_data(train_size: int, eval_size: int):
+    train = ArrayDataset(*two_moons(train_size, noise=0.12, rng=0))
+    evaluation = ArrayDataset(*two_moons(eval_size, noise=0.12, rng=5))
+    return train, evaluation
+
+
+def _image_data(config: SyntheticImageConfig):
+    def build(train_size: int, eval_size: int):
+        return make_synthetic_images(config, train_size, eval_size)
+
+    return build
+
+
+_MLP_IMAGES = SyntheticImageConfig(image_size=6, noise=1.2, seed=11)
+_CNN_IMAGES = SyntheticImageConfig(image_size=12, noise=4.5, seed=11)
+
+WORKBENCHES: dict[str, Workbench] = {
+    "mlp-moons": Workbench(
+        name="mlp-moons",
+        build_model=lambda: paper_mlp(rng=0),
+        build_data=_moons_data,
+        default_epochs=40,
+        lr=0.01,
+        boundary_window=(-1.5, 2.5, -1.2, 1.7),
+    ),
+    "mlp-images": Workbench(
+        name="mlp-images",
+        build_model=lambda: MLP(3 * 6 * 6, (8,), 10, rng=0),
+        build_data=_image_data(_MLP_IMAGES),
+        default_epochs=20,
+        lr=2e-3,
+    ),
+    "resnet-images": Workbench(
+        name="resnet-images",
+        build_model=lambda: resnet18_cifar_small(rng=0),
+        build_data=_image_data(_CNN_IMAGES),
+        default_epochs=8,
+        lr=2e-3,
+    ),
+    "lenet-images": Workbench(
+        name="lenet-images",
+        build_model=lambda: LeNet(in_channels=3, num_classes=10, image_size=12, rng=0),
+        build_data=_image_data(_CNN_IMAGES),
+        default_epochs=10,
+        lr=1e-3,
+    ),
+}
+
+
+# ---------------------------------------------------------------------- #
+# shared plumbing
+# ---------------------------------------------------------------------- #
+
+
+def _load_workbench(name: str) -> Workbench:
+    if name not in WORKBENCHES:
+        raise SystemExit(f"unknown workbench {name!r}; choose from {sorted(WORKBENCHES)}")
+    return WORKBENCHES[name]
+
+
+def _injector_from_args(args) -> BayesianFaultInjector:
+    workbench = _load_workbench(args.workbench)
+    model = workbench.build_model()
+    load_checkpoint(model, args.checkpoint)
+    _, evaluation = workbench.build_data(args.train_size, args.eval_size)
+    features, labels = evaluation.arrays()
+    features, labels = features[: args.eval_size], labels[: args.eval_size]
+    spec = TargetSpec.weights_and_biases() if args.include_biases else TargetSpec()
+    return BayesianFaultInjector(model, features, labels, spec=spec, seed=args.seed)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("checkpoint", help="golden-weights .npz written by `repro train`")
+    parser.add_argument("--workbench", required=True, choices=sorted(WORKBENCHES))
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--train-size", type=int, default=800, help="dataset regeneration size")
+    parser.add_argument("--eval-size", type=int, default=200, help="evaluation batch size")
+    parser.add_argument("--include-biases", action="store_true", default=True)
+
+
+# ---------------------------------------------------------------------- #
+# commands
+# ---------------------------------------------------------------------- #
+
+
+def _cmd_train(args) -> int:
+    workbench = _load_workbench(args.workbench)
+    model = workbench.build_model()
+    train, evaluation = workbench.build_data(args.train_size, args.eval_size)
+    loader = DataLoader(train, batch_size=args.batch_size, shuffle=True, rng=1)
+    val = DataLoader(evaluation, batch_size=256)
+    epochs = args.epochs or workbench.default_epochs
+    trainer = Trainer(model, Adam(model.parameters(), lr=workbench.lr))
+    result = trainer.fit(loader, epochs=epochs, val_loader=val)
+    save_checkpoint(model, args.out, accuracy=result.final_val_accuracy, epochs=epochs)
+    print(f"trained {args.workbench}: val accuracy {result.final_val_accuracy:.1%}")
+    print(f"golden weights written to {args.out}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    injector = _injector_from_args(args)
+    print(f"golden error: {injector.golden_error:.2%}")
+    if args.method == "forward":
+        campaign = injector.forward_campaign(args.p, samples=args.samples, chains=args.chains)
+    elif args.method == "mcmc":
+        campaign = injector.mcmc_campaign(args.p, chains=args.chains, steps=max(4, args.samples // args.chains))
+    elif args.method == "tempering":
+        campaign = injector.parallel_tempering_campaign(args.p, chains=args.chains, sweeps=max(4, args.samples // args.chains))
+    else:
+        campaign = injector.run_until_complete(args.p, chains=args.chains, max_steps=args.samples)
+    print(campaign)
+    print(format_table([campaign.summary_row()]))
+    if campaign.completeness is not None:
+        print(campaign.completeness)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    injector = _injector_from_args(args)
+    p_values = tuple(np.logspace(np.log10(args.p_min), np.log10(args.p_max), args.points))
+    sweep = ProbabilitySweep(injector, p_values=p_values, samples=args.samples, chains=args.chains).run()
+    print(format_table(sweep.table()))
+    print()
+    print(
+        line_plot(
+            sweep.probabilities(), 100 * sweep.errors(), log_x=True,
+            title="classification error (%) vs flip probability",
+            x_label="p", y_label="% error", reference=100 * sweep.golden_error,
+        )
+    )
+    fit = sweep.fit_regimes(truncate_saturation=True)
+    print(f"\ntwo regimes: {fit.has_two_regimes}; knee at p = {fit.knee_p:.2e}")
+    return 0
+
+
+def _cmd_layerwise(args) -> int:
+    workbench = _load_workbench(args.workbench)
+    model = workbench.build_model()
+    load_checkpoint(model, args.checkpoint)
+    _, evaluation = workbench.build_data(args.train_size, args.eval_size)
+    features, labels = evaluation.arrays()
+    campaign = LayerwiseCampaign(
+        model, features[: args.eval_size], labels[: args.eval_size],
+        p=args.p, samples=args.samples, chains=1, seed=args.seed,
+    ).run()
+    print(format_table(campaign.table(), columns=["depth", "layer", "error_pct", "parameters"]))
+    stats = campaign.depth_correlation()
+    print(f"\ndepth vs error: Spearman rho = {stats['spearman_rho']:+.3f} (p = {stats['spearman_p']:.3f})")
+    return 0
+
+
+def _cmd_assess(args) -> int:
+    from repro.core import assess_model
+
+    workbench = _load_workbench(args.workbench)
+    model = workbench.build_model()
+    load_checkpoint(model, args.checkpoint)
+    _, evaluation = workbench.build_data(args.train_size, args.eval_size)
+    features, labels = evaluation.arrays()
+    assessment = assess_model(
+        model,
+        features[: args.eval_size],
+        labels[: args.eval_size],
+        seed=args.seed,
+        samples_per_point=args.samples,
+    )
+    report = assessment.to_markdown()
+    print(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
+def _cmd_boundary(args) -> int:
+    workbench = _load_workbench(args.workbench)
+    if workbench.boundary_window is None:
+        raise SystemExit(f"workbench {workbench.name!r} has no 2-D input window for boundary analysis")
+    model = workbench.build_model()
+    load_checkpoint(model, args.checkpoint)
+    analysis = DecisionBoundaryAnalysis(
+        model, bounds=workbench.boundary_window, resolution=args.resolution,
+        fault_model=BernoulliBitFlipModel(args.p), seed=args.seed,
+    )
+    boundary_map = analysis.run(samples=args.samples)
+    print(heatmap(boundary_map.log_flip_probability(), title="log10 P(flip)", legend="log10"))
+    stats = boundary_map.distance_correlation()
+    print(f"\nSpearman(distance, flip probability) = {stats['spearman_rho']:+.3f} "
+          f"(p = {stats['spearman_p']:.2e})")
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# parser
+# ---------------------------------------------------------------------- #
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BDLFI: Bayesian fault-injection campaigns from the command line",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    train = subparsers.add_parser("train", help="train a golden network")
+    train.add_argument("workbench", choices=sorted(WORKBENCHES))
+    train.add_argument("--out", required=True, help="checkpoint path (.npz)")
+    train.add_argument("--epochs", type=int, default=None)
+    train.add_argument("--batch-size", type=int, default=64)
+    train.add_argument("--train-size", type=int, default=800)
+    train.add_argument("--eval-size", type=int, default=200)
+    train.set_defaults(handler=_cmd_train)
+
+    campaign = subparsers.add_parser("campaign", help="one fault-injection campaign")
+    _add_common(campaign)
+    campaign.add_argument("--p", type=float, default=1e-3, help="bit-flip probability")
+    campaign.add_argument("--samples", type=int, default=200)
+    campaign.add_argument("--chains", type=int, default=2)
+    campaign.add_argument(
+        "--method", choices=("forward", "mcmc", "adaptive", "tempering"), default="forward"
+    )
+    campaign.set_defaults(handler=_cmd_campaign)
+
+    sweep = subparsers.add_parser("sweep", help="error vs flip-probability sweep (Figs. 2/4)")
+    _add_common(sweep)
+    sweep.add_argument("--p-min", type=float, default=1e-5)
+    sweep.add_argument("--p-max", type=float, default=1e-1)
+    sweep.add_argument("--points", type=int, default=9)
+    sweep.add_argument("--samples", type=int, default=100)
+    sweep.add_argument("--chains", type=int, default=2)
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    layerwise = subparsers.add_parser("layerwise", help="per-layer campaign (Fig. 3)")
+    _add_common(layerwise)
+    layerwise.add_argument("--p", type=float, default=1e-3)
+    layerwise.add_argument("--samples", type=int, default=50)
+    layerwise.set_defaults(handler=_cmd_layerwise)
+
+    assess = subparsers.add_parser("assess", help="full resilience assessment report")
+    _add_common(assess)
+    assess.add_argument("--samples", type=int, default=100, help="campaign draws per sweep point")
+    assess.add_argument("--out", default=None, help="also write the markdown report here")
+    assess.set_defaults(handler=_cmd_assess)
+
+    boundary = subparsers.add_parser("boundary", help="decision-boundary map (Fig. 1 (3))")
+    _add_common(boundary)
+    boundary.add_argument("--p", type=float, default=1e-3)
+    boundary.add_argument("--samples", type=int, default=100)
+    boundary.add_argument("--resolution", type=int, default=40)
+    boundary.set_defaults(handler=_cmd_boundary)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

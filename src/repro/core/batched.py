@@ -1,0 +1,189 @@
+"""Vectorised multi-configuration campaign evaluation for MLPs.
+
+A campaign's cost is #configurations × one forward pass. For dense
+networks the per-configuration work is small matrix algebra, so evaluating
+``k`` fault configurations *simultaneously* — stacking the faulted weight
+tensors into ``(k, in, out)`` arrays and contracting with einsum — turns
+``k`` interpreter round-trips into one BLAS call per layer. On the paper's
+MLP this is an order-of-magnitude campaign speed-up (measured in
+``benchmarks/bench_micro.py``), with bit-identical semantics verified
+against the sequential path.
+
+Scope: :class:`~repro.nn.models.MLP`-shaped models (Dense/ReLU/Flatten
+sequences, the Fig. 1/Fig. 2 subjects). Conv nets go through the standard
+path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits.float32 import apply_bit_mask
+from repro.core.campaign import CampaignResult
+from repro.core.posterior import ErrorPosterior
+from repro.faults.configuration import FaultConfiguration
+from repro.faults.model import FaultModel
+from repro.mcmc.chain import Chain, ChainSet
+from repro.nn.activations import ReLU
+from repro.nn.containers import Sequential
+from repro.nn.layers import Dense, Flatten, Identity
+from repro.nn.models.mlp import MLP
+from repro.nn.module import Module
+
+__all__ = ["BatchedMLPEvaluator"]
+
+
+class BatchedMLPEvaluator:
+    """Evaluate many fault configurations of a dense network in one sweep.
+
+    Parameters
+    ----------
+    injector:
+        A configured :class:`~repro.core.injector.BayesianFaultInjector`
+        over an MLP-shaped model with parameter surfaces only.
+    """
+
+    def __init__(self, injector) -> None:
+        if injector.activation_modules or injector._wants_inputs:
+            raise ValueError("batched evaluation supports parameter surfaces only")
+        self.injector = injector
+        self._plan = self._build_plan(injector.model)
+        planned_params = {
+            f"{prefix}.{leaf}"
+            for prefix, layer in self._plan
+            for leaf in ("weight", "bias")
+            if getattr(layer, leaf, None) is not None
+        }
+        target_names = {name for name, _ in injector.parameter_targets}
+        if not target_names <= planned_params:
+            unplanned = sorted(target_names - planned_params)
+            raise ValueError(f"targets outside the dense plan: {unplanned}")
+        self._inputs = np.asarray(injector.inputs, dtype=np.float32).reshape(
+            len(injector.labels), -1
+        )
+
+    # ------------------------------------------------------------------ #
+    # model planning
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _build_plan(model: Module) -> list[tuple[str, Module]]:
+        """(dotted-name, layer) pairs for the dense execution sequence."""
+        if isinstance(model, MLP):
+            sequence = model.layers
+            prefix = "layers"
+        elif isinstance(model, Sequential):
+            sequence = model
+            prefix = ""
+        else:
+            raise TypeError(
+                f"BatchedMLPEvaluator supports MLP/Sequential models, got {type(model).__name__}"
+            )
+        plan: list[tuple[str, Module]] = []
+        for index, layer in enumerate(sequence):
+            if not isinstance(layer, (Dense, ReLU, Flatten, Identity)):
+                raise TypeError(
+                    f"unsupported layer {type(layer).__name__} for batched evaluation"
+                )
+            name = f"{prefix}.{index}" if prefix else str(index)
+            plan.append((name, layer))
+        return plan
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, configurations: list[FaultConfiguration]) -> np.ndarray:
+        """Classification error per configuration, shape ``(k,)``.
+
+        Semantics identical to scoring each configuration through
+        ``injector.make_statistic`` — verified bit-level by the tests.
+        """
+        if not configurations:
+            raise ValueError("need at least one configuration")
+        k = len(configurations)
+        labels = self.injector.labels
+        # All math in float32 to match the sequential (deployment) path:
+        # severe faulted weights overflow float32 at intermediates, and the
+        # resulting inf/nan logits must be reproduced, not avoided.
+        current = np.broadcast_to(self._inputs, (k,) + self._inputs.shape)  # (k, B, d)
+        with np.errstate(all="ignore"):
+            for name, layer in self._plan:
+                if isinstance(layer, Dense):
+                    weights = self._stacked_parameter(configurations, f"{name}.weight", layer.weight.data)
+                    current = np.matmul(current, weights)  # float32 batched GEMM
+                    if layer.bias is not None:
+                        biases = self._stacked_parameter(configurations, f"{name}.bias", layer.bias.data)
+                        current = current + biases[:, None, :]
+                elif isinstance(layer, ReLU):
+                    # Match Tensor.relu's NaN semantics (where(x>0, x, 0)):
+                    # NaN compares false, so NaN activations become 0, as in
+                    # the sequential path.
+                    current = np.where(current > 0, current, np.float32(0.0))
+                elif isinstance(layer, Flatten):
+                    current = current.reshape(k, current.shape[1], -1)
+        predictions = current.argmax(axis=2)  # (k, B)
+        return (predictions != labels[None, :]).mean(axis=1)
+
+    def _stacked_parameter(
+        self, configurations: list[FaultConfiguration], name: str, golden: np.ndarray
+    ) -> np.ndarray:
+        """(k, *shape) faulted copies of one parameter."""
+        k = len(configurations)
+        stack = np.empty((k,) + golden.shape, dtype=np.float32)
+        for i, configuration in enumerate(configurations):
+            if name in configuration:
+                stack[i] = apply_bit_mask(golden, configuration.mask(name))
+            else:
+                stack[i] = golden
+        return stack
+
+    # ------------------------------------------------------------------ #
+    # campaign front-end
+    # ------------------------------------------------------------------ #
+
+    def forward_campaign(
+        self,
+        p: float,
+        samples: int = 200,
+        chains: int = 2,
+        fault_model: FaultModel | None = None,
+        stream: str = "batched",
+    ) -> CampaignResult:
+        """Drop-in faster equivalent of ``injector.forward_campaign``.
+
+        Draws the same kind of i.i.d. configurations, evaluates them in one
+        vectorised sweep, and packages the standard result object. (Not
+        RNG-identical to the sequential path — it uses its own stream —
+        but statistically the same estimator.)
+        """
+        from repro.faults.bernoulli import BernoulliBitFlipModel
+
+        if samples <= 0 or chains <= 0:
+            raise ValueError("samples and chains must be positive")
+        model = fault_model if fault_model is not None else BernoulliBitFlipModel(p)
+        rng = self.injector._rng_factory.stream(f"{stream}:p={p!r}")
+        per_chain = max(1, samples // chains)
+        configurations = [
+            FaultConfiguration.sample(self.injector.parameter_targets, model, rng)
+            for _ in range(per_chain * chains)
+        ]
+        errors = self.evaluate(configurations)
+        flips = [configuration.total_flips() for configuration in configurations]
+
+        chain_objs = []
+        for chain_id in range(chains):
+            chain = Chain(chain_id)
+            for i in range(chain_id * per_chain, (chain_id + 1) * per_chain):
+                chain.record(float(errors[i]), flips[i])
+            chain_objs.append(chain)
+        chain_set = ChainSet(chain_objs)
+        posterior = ErrorPosterior(errors, self.injector.golden_error)
+        return CampaignResult(
+            flip_probability=p,
+            golden_error=self.injector.golden_error,
+            chains=chain_set,
+            posterior=posterior,
+            method="forward-batched",
+            seed=self.injector.seed,
+        )

@@ -1,0 +1,118 @@
+"""The explicit Bayesian fault network (paper Fig. 1 ②).
+
+BDLFI's formal object is a Bayesian network: per stored tensor, a latent
+error variable ``e`` whose bits are Bernoulli(p); a deterministic transform
+``W' = e ⊕ W``; the deterministic network forward pass on the faulted
+parameters; and the resulting output/error nodes. The campaigns in
+:mod:`repro.core.injector` never materialise this graph (they sample it
+implicitly, which is faster); this module builds the *actual*
+:class:`~repro.bayes.BayesianNetwork` for inspection, teaching, and the
+tests that prove the implicit and explicit formulations agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bayes.distributions import Distribution
+from repro.bayes.graph import BayesianNetwork
+from repro.bits.float32 import apply_bit_mask
+from repro.faults.model import FaultModel
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor, no_grad
+from repro.train.metrics import classification_error
+
+__all__ = ["MaskDistribution", "build_fault_network"]
+
+
+class MaskDistribution(Distribution):
+    """Adapter exposing a :class:`FaultModel`'s mask law as a Distribution.
+
+    Sampling returns a uint32 XOR mask of the fixed shape; ``log_prob``
+    delegates to the fault model. This is the per-tensor aggregate of the
+    b₁..b₃₂ Bernoulli lattice drawn in the paper's figure.
+    """
+
+    def __init__(self, fault_model: FaultModel, shape: tuple[int, ...]) -> None:
+        self.fault_model = fault_model
+        self.shape = tuple(shape)
+
+    def sample(self, rng: np.random.Generator, size=None):
+        if size is not None:
+            raise ValueError("MaskDistribution draws one mask per call (size unsupported)")
+        return self.fault_model.sample_mask(self.shape, rng)
+
+    def log_prob(self, value) -> np.ndarray:
+        value = np.asarray(value)
+        if value.shape != self.shape:
+            raise ValueError(f"mask shape {value.shape} does not match {self.shape}")
+        return np.asarray(self.fault_model.log_prob_mask(value))
+
+    @property
+    def mean(self) -> float:
+        raise NotImplementedError("bit masks have no scalar mean")
+
+    @property
+    def variance(self) -> float:
+        raise NotImplementedError("bit masks have no scalar variance")
+
+
+def build_fault_network(
+    model: Module,
+    targets: list[tuple[str, Parameter]],
+    fault_model: FaultModel,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+) -> BayesianNetwork:
+    """Construct the explicit DBN for a golden model and evaluation batch.
+
+    Nodes (topological order):
+
+    * ``e:{name}``      — random mask per target tensor,
+    * ``faulted:{name}``— deterministic ``W' = e ⊕ W`` (float32 array),
+    * ``logits``        — deterministic forward pass with all faulted
+      parameters substituted,
+    * ``error``         — deterministic classification error vs ``labels``.
+
+    Ancestral sampling of this network is *exactly* one BDLFI forward
+    campaign draw; ``tests/test_core/test_bayesian_network.py`` asserts the
+    equivalence against :class:`BayesianFaultInjector`.
+    """
+    inputs = np.asarray(inputs, dtype=np.float32)
+    labels = np.asarray(labels, dtype=np.int64)
+    if not targets:
+        raise ValueError("build_fault_network requires at least one target")
+
+    network = BayesianNetwork()
+    golden = {name: param.data.copy() for name, param in targets}
+
+    for name, param in targets:
+        network.random_variable(f"e:{name}", MaskDistribution(fault_model, param.shape))
+        network.deterministic(
+            f"faulted:{name}",
+            # late-bound golden weights; default arg pins the loop variable
+            lambda pv, _name=name: apply_bit_mask(golden[_name], pv[f"e:{_name}"]),
+            (f"e:{name}",),
+        )
+
+    faulted_names = tuple(f"faulted:{name}" for name, _ in targets)
+
+    def _forward(parent_values) -> np.ndarray:
+        saved = {}
+        try:
+            for name, param in targets:
+                saved[name] = param.data.copy()
+                param.data[...] = parent_values[f"faulted:{name}"]
+            model.eval()
+            with no_grad(), np.errstate(all="ignore"):
+                logits = model(Tensor(inputs))
+            return logits.data.copy()
+        finally:
+            for name, param in targets:
+                param.data[...] = saved[name]
+
+    network.deterministic("logits", _forward, faulted_names)
+    network.deterministic(
+        "error", lambda pv: classification_error(pv["logits"], labels), ("logits",)
+    )
+    return network

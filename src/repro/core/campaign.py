@@ -1,0 +1,105 @@
+"""Campaign results.
+
+A campaign = (golden model, fault model at one p, target spec, sampler,
+sample budget). Its result carries the raw chains, the error posterior,
+and — when the sampler was MCMC — the completeness report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.posterior import ErrorPosterior
+from repro.mcmc.chain import ChainSet
+from repro.mcmc.mixing import CompletenessReport
+
+__all__ = ["CampaignResult"]
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of one fault-injection campaign at a single flip probability."""
+
+    flip_probability: float
+    golden_error: float
+    chains: ChainSet
+    posterior: ErrorPosterior
+    method: str
+    seed: int
+    completeness: CompletenessReport | None = None
+    discard_fraction: float = 0.0
+
+    @property
+    def mean_error(self) -> float:
+        return self.posterior.mean
+
+    @property
+    def mean_flips(self) -> float:
+        """Average number of flipped bits per sampled configuration."""
+        return float(np.concatenate([c.flips for c in self.chains.chains]).mean())
+
+    @property
+    def total_evaluations(self) -> int:
+        """Forward-pass budget consumed (one evaluation per recorded step)."""
+        return len(self.chains) * self.chains.steps
+
+    def summary_row(self) -> dict[str, float | str]:
+        """Flat dict for table rendering in benches and reports."""
+        lo, hi = self.posterior.credible_interval()
+        row: dict[str, float | str] = {
+            "p": self.flip_probability,
+            "golden_error_pct": 100.0 * self.golden_error,
+            "mean_error_pct": 100.0 * self.mean_error,
+            "ci_lo_pct": 100.0 * lo,
+            "ci_hi_pct": 100.0 * hi,
+            "mean_flips": self.mean_flips,
+            "method": self.method,
+            "evaluations": self.total_evaluations,
+        }
+        if self.completeness is not None:
+            row["r_hat"] = self.completeness.r_hat
+            row["ess"] = self.completeness.ess
+            row["complete"] = float(self.completeness.complete)
+        return row
+
+    def to_dict(self) -> dict:
+        """JSON-ready record: summary, posterior samples, per-chain values.
+
+        Rich enough to reconstruct every figure built on this campaign
+        without re-running it (configurations themselves are not stored —
+        persist those separately with :meth:`FaultConfiguration.save`).
+        """
+        record: dict = {
+            "summary": self.summary_row(),
+            "posterior_samples": self.posterior.samples.tolist(),
+            "chains": [chain.values.tolist() for chain in self.chains.chains],
+            "flips": [chain.flips.tolist() for chain in self.chains.chains],
+            "seed": self.seed,
+            "discard_fraction": self.discard_fraction,
+        }
+        if self.completeness is not None:
+            record["completeness"] = {
+                "complete": self.completeness.complete,
+                "r_hat": self.completeness.r_hat,
+                "ess": self.completeness.ess,
+                "mcse": self.completeness.mcse,
+            }
+        return record
+
+    def save(self, path: str) -> None:
+        """Write :meth:`to_dict` as JSON (directories created as needed)."""
+        import json
+        import os
+
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+
+    def __repr__(self) -> str:
+        return (
+            f"CampaignResult(p={self.flip_probability:g}, method={self.method!r}, "
+            f"error={100 * self.mean_error:.2f}% vs golden {100 * self.golden_error:.2f}%, "
+            f"n={self.total_evaluations})"
+        )

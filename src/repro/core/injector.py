@@ -1,0 +1,386 @@
+"""BayesianFaultInjector — the BDLFI engine.
+
+Binds together a trained (golden) network, an evaluation set, a target
+specification, and a fault-model family, and exposes the paper's inference
+procedures:
+
+* :meth:`forward_campaign` — i.i.d. ancestral sampling from the fault prior
+  (exact Monte Carlo over the DBN);
+* :meth:`mcmc_campaign` — multi-chain Metropolis–Hastings with mixing
+  diagnostics (the configuration the paper describes);
+* :meth:`run_until_complete` — adaptive campaign that stops when the
+  :class:`~repro.mcmc.mixing.CompletenessCriterion` is met (advantage #1);
+* :meth:`tempered_campaign` — failure-biased MCMC with importance
+  reweighting for rare-event regimes (advantage #2).
+
+The *statistic* pushed through every sampler is the classification error of
+the faulted network on the evaluation batch, evaluated in eval mode under
+``no_grad``. Weight/bias faults are applied via XOR masks (the MCMC state);
+activation and input faults, being transient, are redrawn per forward pass
+through hooks when the target spec selects those surfaces.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from repro.core.campaign import CampaignResult
+from repro.core.posterior import ErrorPosterior
+from repro.faults.bernoulli import BernoulliBitFlipModel
+from repro.faults.configuration import FaultConfiguration
+from repro.faults.injection import ActivationInjector, InputInjector, apply_configuration
+from repro.faults.model import FaultModel
+from repro.faults.targets import (
+    FaultSurface,
+    TargetSpec,
+    resolve_activation_modules,
+    resolve_parameter_targets,
+)
+from repro.mcmc.chain import ChainSet
+from repro.mcmc.forward import ForwardSampler
+from repro.mcmc.metropolis import MetropolisHastingsSampler
+from repro.mcmc.mixing import CompletenessCriterion
+from repro.mcmc.proposals import BlockResample, MixtureProposal, SingleBitToggle
+from repro.mcmc.targets import PriorTarget, TemperedErrorTarget
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor, no_grad
+from repro.train.metrics import classification_error
+from repro.utils.logging import get_logger
+from repro.utils.rng import RngFactory
+
+__all__ = ["BayesianFaultInjector"]
+
+_LOGGER = get_logger("core")
+
+
+class BayesianFaultInjector:
+    """Fault-injection engine over one golden network and evaluation batch.
+
+    Parameters
+    ----------
+    model:
+        Trained network (will be switched to eval mode).
+    inputs / labels:
+        Evaluation batch the classification-error statistic is computed on.
+    spec:
+        Fault surfaces and layer filters; defaults to all weights.
+    seed:
+        Root seed; every campaign derives named substreams, so results are
+        exactly reproducible and independent across campaigns.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        spec: TargetSpec | None = None,
+        seed: int = 0,
+    ) -> None:
+        inputs = np.asarray(inputs, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(inputs) != len(labels):
+            raise ValueError(f"inputs ({len(inputs)}) and labels ({len(labels)}) misaligned")
+        if len(labels) == 0:
+            raise ValueError("evaluation batch is empty")
+        self.model = model.eval()
+        self.inputs = inputs
+        self.labels = labels
+        self.spec = spec or TargetSpec()
+        self.seed = seed
+        self._rng_factory = RngFactory(seed)
+
+        self.parameter_targets = resolve_parameter_targets(model, self.spec)
+        self.activation_modules = resolve_activation_modules(model, self.spec)
+        self._wants_parameters = bool(self.parameter_targets)
+        self._wants_inputs = FaultSurface.INPUTS in self.spec.surfaces
+        if not (self._wants_parameters or self.activation_modules or self._wants_inputs):
+            raise ValueError("target spec selects nothing in this model")
+
+        self._x = Tensor(self.inputs)
+        self._golden_error = self._evaluate_clean()
+
+    # ------------------------------------------------------------------ #
+    # evaluation primitives
+    # ------------------------------------------------------------------ #
+
+    @property
+    def golden_error(self) -> float:
+        """Classification error of the fault-free network on the eval batch."""
+        return self._golden_error
+
+    def _evaluate_clean(self) -> float:
+        with no_grad():
+            logits = self.model(self._x)
+        return classification_error(logits, self.labels)
+
+    def _predict(self) -> np.ndarray:
+        with no_grad():
+            logits = self.model(self._x)
+        return logits.data.argmax(axis=1)
+
+    def _transient_context(self, fault_model: FaultModel, rng: np.random.Generator):
+        """Stack of hook injectors for the transient (activation/input) surfaces."""
+        stack = contextlib.ExitStack()
+        if self.activation_modules:
+            stack.enter_context(ActivationInjector(self.activation_modules, fault_model, rng))
+        if self._wants_inputs:
+            stack.enter_context(InputInjector(self.model, fault_model, rng))
+        return stack
+
+    def make_statistic(self, fault_model: FaultModel, rng: np.random.Generator):
+        """Build ``FaultConfiguration → classification error`` for one campaign.
+
+        Parameter masks come from the configuration (the MCMC state);
+        transient surfaces draw fresh faults from ``fault_model`` inside the
+        evaluation, using the supplied stream.
+        """
+
+        def statistic(configuration: FaultConfiguration) -> float:
+            if self._wants_parameters:
+                parameter_context = apply_configuration(self.model, configuration)
+            else:  # transient-only campaign; the configuration is a placeholder
+                parameter_context = contextlib.nullcontext()
+            # Flipped exponent bits legitimately produce inf/nan activations;
+            # suppress the floating-point warnings those passes raise.
+            with parameter_context, np.errstate(all="ignore"):
+                with self._transient_context(fault_model, rng):
+                    with no_grad():
+                        logits = self.model(self._x)
+            return classification_error(logits, self.labels)
+
+        return statistic
+
+    def predictions_under(self, configuration: FaultConfiguration) -> np.ndarray:
+        """Predicted labels with a parameter-fault configuration applied."""
+        with apply_configuration(self.model, configuration):
+            return self._predict()
+
+    # ------------------------------------------------------------------ #
+    # campaigns
+    # ------------------------------------------------------------------ #
+
+    def _fault_model(self, p: float, fault_model: FaultModel | None) -> FaultModel:
+        return fault_model if fault_model is not None else BernoulliBitFlipModel(p)
+
+    def forward_campaign(
+        self,
+        p: float,
+        samples: int = 200,
+        chains: int = 2,
+        fault_model: FaultModel | None = None,
+        stream: str = "forward",
+    ) -> CampaignResult:
+        """i.i.d. Monte Carlo over the fault prior at flip probability ``p``."""
+        model = self._fault_model(p, fault_model)
+        rng = self._rng_factory.stream(f"{stream}:p={p!r}")
+        sampler = ForwardSampler(
+            self.parameter_targets or self._pseudo_targets(),
+            model,
+            self.make_statistic(model, self._rng_factory.stream(f"{stream}:transient:p={p!r}")),
+        )
+        steps = max(1, samples // chains)
+        chain_set = sampler.run(chains=chains, steps=steps, rng=rng)
+        return self._package(p, chain_set, "forward", discard_fraction=0.0)
+
+    def mcmc_campaign(
+        self,
+        p: float,
+        chains: int = 4,
+        steps: int = 250,
+        fault_model: FaultModel | None = None,
+        toggle_weight: float = 0.5,
+        resample_weight: float = 0.5,
+        discard_fraction: float = 0.25,
+        criterion: CompletenessCriterion | None = None,
+        stream: str = "mcmc",
+    ) -> CampaignResult:
+        """Multi-chain Metropolis–Hastings targeting the fault prior.
+
+        The proposal mixes single-bit toggles (local) with block prior
+        resampling (global); weights tune the mixing-speed experiments.
+        """
+        if not self._wants_parameters:
+            raise ValueError("MCMC campaigns require parameter fault surfaces (the mask state)")
+        model = self._fault_model(p, fault_model)
+        statistic = self.make_statistic(model, self._rng_factory.stream(f"{stream}:transient:p={p!r}"))
+        proposal = self._make_proposal(model, toggle_weight, resample_weight)
+        sampler = MetropolisHastingsSampler(
+            PriorTarget(model),
+            proposal,
+            statistic,
+            initial=lambda r: FaultConfiguration.sample(self.parameter_targets, model, r),
+        )
+        chain_set = sampler.run(chains=chains, steps=steps, rng=self._rng_factory.stream(f"{stream}:p={p!r}"))
+        criterion = criterion or CompletenessCriterion()
+        report = criterion.assess(chain_set)
+        return self._package(p, chain_set, "mcmc", discard_fraction=discard_fraction, completeness=report)
+
+    def tempered_campaign(
+        self,
+        p: float,
+        beta: float,
+        chains: int = 4,
+        steps: int = 250,
+        fault_model: FaultModel | None = None,
+        discard_fraction: float = 0.25,
+        stream: str = "tempered",
+    ) -> tuple[CampaignResult, float]:
+        """Failure-biased MCMC; returns (campaign, importance-weighted error).
+
+        The chain explores π_β ∝ prior·exp(β·error); the returned weighted
+        estimate self-normalises importance weights exp(−β·error) to
+        recover the prior-expected classification error.
+        """
+        if beta < 0:
+            raise ValueError(f"beta must be non-negative, got {beta}")
+        if not self._wants_parameters:
+            raise ValueError("tempered campaigns require parameter fault surfaces")
+        model = self._fault_model(p, fault_model)
+        statistic = self.make_statistic(model, self._rng_factory.stream(f"{stream}:transient:p={p!r}"))
+        target = TemperedErrorTarget(model, statistic, beta)
+        proposal = self._make_proposal(model, toggle_weight=0.7, resample_weight=0.3)
+        sampler = MetropolisHastingsSampler(
+            target,
+            proposal,
+            statistic,
+            initial=lambda r: FaultConfiguration.sample(self.parameter_targets, model, r),
+        )
+        chain_set = sampler.run(chains=chains, steps=steps, rng=self._rng_factory.stream(f"{stream}:p={p!r}"))
+        result = self._package(p, chain_set, f"tempered(beta={beta:g})", discard_fraction=discard_fraction)
+        values = np.concatenate([c.tail(discard_fraction) for c in chain_set.chains])
+        log_w = -beta * values
+        log_w -= log_w.max()
+        weights = np.exp(log_w)
+        weighted = float((weights * values).sum() / weights.sum())
+        return result, weighted
+
+    def parallel_tempering_campaign(
+        self,
+        p: float,
+        chains: int = 2,
+        sweeps: int = 250,
+        betas: tuple[float, ...] = (0.0, 5.0, 20.0, 80.0),
+        fault_model: FaultModel | None = None,
+        discard_fraction: float = 0.25,
+        stream: str = "tempering",
+    ) -> CampaignResult:
+        """Replica-exchange campaign; the cold rung samples the fault prior.
+
+        Hot rungs concentrate on error-causing configurations and pass them
+        down the ladder, improving mixing in rare-event regimes without any
+        importance reweighting. The returned campaign is built from the
+        cold-rung chains; swap acceptance is logged.
+        """
+        if not self._wants_parameters:
+            raise ValueError("tempering campaigns require parameter fault surfaces")
+        from repro.mcmc.tempering import ParallelTemperingSampler
+
+        model = self._fault_model(p, fault_model)
+        statistic = self.make_statistic(model, self._rng_factory.stream(f"{stream}:transient:p={p!r}"))
+        sampler = ParallelTemperingSampler(
+            self.parameter_targets,
+            model,
+            statistic,
+            proposal=self._make_proposal(model, toggle_weight=0.8, resample_weight=0.2),
+            betas=betas,
+        )
+        result = sampler.run(chains=chains, sweeps=sweeps, rng=self._rng_factory.stream(f"{stream}:p={p!r}"))
+        _LOGGER.info(
+            "tempering campaign p=%g: swap acceptance %.2f, rung means %s",
+            p, result.swap_acceptance, [f"{m:.3f}" for m in result.rung_means],
+        )
+        return self._package(
+            p, result.cold_chains, f"tempering(rungs={len(betas)})", discard_fraction=discard_fraction
+        )
+
+    def run_until_complete(
+        self,
+        p: float,
+        criterion: CompletenessCriterion | None = None,
+        chains: int = 4,
+        batch_steps: int = 50,
+        max_steps: int = 2000,
+        fault_model: FaultModel | None = None,
+        stream: str = "adaptive",
+    ) -> CampaignResult:
+        """Grow an i.i.d. campaign until the completeness criterion fires.
+
+        This is the BDLFI stopping rule in action: extend every chain by
+        ``batch_steps``, re-assess R̂/ESS/MCSE, stop when complete (or at
+        ``max_steps`` per chain, returning the final incomplete report).
+        """
+        criterion = criterion or CompletenessCriterion()
+        model = self._fault_model(p, fault_model)
+        statistic = self.make_statistic(model, self._rng_factory.stream(f"{stream}:transient:p={p!r}"))
+        sampler = ForwardSampler(self.parameter_targets or self._pseudo_targets(), model, statistic)
+        generators = [
+            self._rng_factory.stream(f"{stream}:p={p!r}:chain={i}") for i in range(chains)
+        ]
+        from repro.mcmc.chain import Chain
+
+        chain_objs = [Chain(i) for i in range(chains)]
+        report = None
+        while chain_objs[0].values.size < max_steps:
+            for chain, gen in zip(chain_objs, generators):
+                extension = sampler.run_chain(batch_steps, gen, chain_id=chain.chain_id)
+                for value, flips in zip(extension.values, extension.flips):
+                    chain.record(value, int(flips))
+            chain_set = ChainSet(chain_objs)
+            report = criterion.assess(chain_set)
+            _LOGGER.info("adaptive campaign p=%g: %s", p, report)
+            if report.complete:
+                break
+        chain_set = ChainSet(chain_objs)
+        report = report or criterion.assess(chain_set)
+        return self._package(
+            p, chain_set, "adaptive", discard_fraction=criterion.discard_fraction, completeness=report
+        )
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+
+    def _make_proposal(self, fault_model: FaultModel, toggle_weight: float, resample_weight: float):
+        components = []
+        if toggle_weight > 0:
+            components.append((SingleBitToggle(self.parameter_targets), toggle_weight))
+        if resample_weight > 0:
+            components.append((BlockResample(self.parameter_targets, fault_model), resample_weight))
+        if not components:
+            raise ValueError("at least one of toggle_weight/resample_weight must be positive")
+        return MixtureProposal(components)
+
+    def _pseudo_targets(self):
+        """Zero-size mask space for transient-only campaigns.
+
+        Forward sampling still needs *a* configuration object; an empty
+        weight mask makes the parameter XOR a no-op while hooks do the
+        actual injection.
+        """
+        from repro.nn.module import Parameter
+
+        return [("__transient__", Parameter(np.zeros(0, dtype=np.float32)))]
+
+    def _package(
+        self,
+        p: float,
+        chain_set: ChainSet,
+        method: str,
+        discard_fraction: float,
+        completeness=None,
+    ) -> CampaignResult:
+        values = np.concatenate([c.tail(discard_fraction) for c in chain_set.chains])
+        posterior = ErrorPosterior(values, self.golden_error)
+        return CampaignResult(
+            flip_probability=p,
+            golden_error=self.golden_error,
+            chains=chain_set,
+            posterior=posterior,
+            method=method,
+            seed=self.seed,
+            completeness=completeness,
+            discard_fraction=discard_fraction,
+        )

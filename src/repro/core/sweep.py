@@ -1,0 +1,146 @@
+"""Flip-probability sweeps — the harness behind Figs. 2 and 4.
+
+A sweep runs one campaign per probability on a log grid (the paper sweeps
+p ∈ [1e-5, 1e-1]) and assembles the error-vs-p series, the golden-run
+reference line, and the two-regime fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.campaign import CampaignResult
+from repro.core.injector import BayesianFaultInjector
+from repro.core.knee import TwoRegimeFit, fit_two_regimes, truncate_saturated_tail
+from repro.utils.logging import get_logger
+
+__all__ = ["SweepPoint", "ProbabilitySweep"]
+
+_LOGGER = get_logger("core.sweep")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One probability point of a sweep."""
+
+    p: float
+    mean_error: float
+    ci_lo: float
+    ci_hi: float
+    mean_flips: float
+    campaign: CampaignResult
+
+
+@dataclass
+class ProbabilitySweep:
+    """Error-vs-flip-probability experiment over one injector.
+
+    Parameters
+    ----------
+    injector:
+        Configured :class:`BayesianFaultInjector` (model + eval batch + spec).
+    p_values:
+        Flip probabilities, defaults to the paper's log grid 1e-5 … 1e-1.
+    samples / chains / method:
+        Per-point campaign budget; ``method`` is ``"forward"``, ``"mcmc"``,
+        or ``"stratified"``.
+    """
+
+    injector: BayesianFaultInjector
+    p_values: tuple[float, ...] = ()
+    samples: int = 200
+    chains: int = 2
+    method: str = "forward"
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.p_values:
+            self.p_values = tuple(np.logspace(-5, -1, 13))
+        p_arr = np.asarray(self.p_values, dtype=np.float64)
+        if np.any(p_arr <= 0) or np.any(p_arr > 1):
+            raise ValueError("flip probabilities must lie in (0, 1]")
+        if np.any(np.diff(p_arr) <= 0):
+            raise ValueError("p_values must be strictly increasing")
+        if self.method not in ("forward", "mcmc", "stratified"):
+            raise ValueError(f"unknown sweep method {self.method!r}")
+
+    def run(self) -> "ProbabilitySweep":
+        """Execute a campaign per probability point (idempotent: clears old points)."""
+        self.points = []
+        for p in self.p_values:
+            campaign = self._run_point(float(p))
+            lo, hi = campaign.posterior.credible_interval()
+            self.points.append(
+                SweepPoint(
+                    p=float(p),
+                    mean_error=campaign.mean_error,
+                    ci_lo=lo,
+                    ci_hi=hi,
+                    mean_flips=campaign.mean_flips,
+                    campaign=campaign,
+                )
+            )
+            _LOGGER.info("sweep point %s", campaign)
+        return self
+
+    def _run_point(self, p: float) -> CampaignResult:
+        if self.method == "forward":
+            return self.injector.forward_campaign(p, samples=self.samples, chains=self.chains)
+        if self.method == "mcmc":
+            steps = max(4, self.samples // self.chains)
+            return self.injector.mcmc_campaign(p, chains=self.chains, steps=steps)
+        from repro.core.stratified import StratifiedErrorEstimator
+
+        estimator = StratifiedErrorEstimator(self.injector, samples_per_stratum=max(4, self.samples // 8))
+        estimate = estimator.estimate(p)
+        return estimate.as_campaign_result()
+
+    # ------------------------------------------------------------------ #
+    # series accessors (the figure data)
+    # ------------------------------------------------------------------ #
+
+    def _require_points(self) -> None:
+        if not self.points:
+            raise RuntimeError("sweep has not been run; call .run() first")
+
+    @property
+    def golden_error(self) -> float:
+        return self.injector.golden_error
+
+    def errors(self) -> np.ndarray:
+        self._require_points()
+        return np.asarray([pt.mean_error for pt in self.points])
+
+    def probabilities(self) -> np.ndarray:
+        self._require_points()
+        return np.asarray([pt.p for pt in self.points])
+
+    def fit_regimes(self, truncate_saturation: bool = False) -> TwoRegimeFit:
+        """Two-regime fit over the sweep (finding F2).
+
+        ``truncate_saturation`` drops the trailing plateau where the error
+        has hit the task's random-guess ceiling before fitting; see
+        :func:`~repro.core.knee.truncate_saturated_tail`.
+        """
+        self._require_points()
+        p_values, errors = self.probabilities(), self.errors()
+        if truncate_saturation:
+            p_values, errors = truncate_saturated_tail(p_values, errors)
+        return fit_two_regimes(p_values, errors)
+
+    def table(self) -> list[dict[str, float]]:
+        """Rows for the figure table: p, error %, CI, flips, golden %."""
+        self._require_points()
+        return [
+            {
+                "p": pt.p,
+                "error_pct": 100 * pt.mean_error,
+                "ci_lo_pct": 100 * pt.ci_lo,
+                "ci_hi_pct": 100 * pt.ci_hi,
+                "golden_pct": 100 * self.golden_error,
+                "mean_flips": pt.mean_flips,
+            }
+            for pt in self.points
+        ]

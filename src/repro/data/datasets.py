@@ -1,0 +1,54 @@
+"""Dataset abstractions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Dataset", "ArrayDataset"]
+
+
+class Dataset:
+    """Minimal dataset protocol: ``__len__`` and ``__getitem__`` → (x, y)."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        raise NotImplementedError
+
+
+class ArrayDataset(Dataset):
+    """In-memory dataset over aligned feature and label arrays.
+
+    Features are stored float32; labels int64. Supports vectorised slicing
+    via :meth:`arrays`, which the loader uses to avoid per-sample overhead.
+    """
+
+    def __init__(self, features: np.ndarray, labels: np.ndarray) -> None:
+        features = np.asarray(features, dtype=np.float32)
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(features) != len(labels):
+            raise ValueError(f"features ({len(features)}) and labels ({len(labels)}) misaligned")
+        if labels.ndim != 1:
+            raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+        self.features = features
+        self.labels = labels
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        return self.features[index], int(self.labels[index])
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return the underlying (features, labels) arrays."""
+        return self.features, self.labels
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """Return a new dataset restricted to ``indices``."""
+        indices = np.asarray(indices)
+        return ArrayDataset(self.features[indices], self.labels[indices])
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if len(self.labels) else 0

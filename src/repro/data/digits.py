@@ -1,0 +1,116 @@
+"""Procedural seven-segment digit images.
+
+A second image distribution besides the Gaussian-texture CIFAR stand-in:
+digits 0–9 rendered as seven-segment glyphs with random position/thickness
+jitter and pixel noise. Unlike the texture dataset, the classes are
+human-interpretable, which makes fault-injection failure cases legible
+("the faulted network reads 8 as 0") — handy for demos and the LeNet
+experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset
+from repro.utils.rng import as_generator
+
+__all__ = ["render_digit", "make_digit_dataset", "SEGMENTS"]
+
+#: segment activation per digit: (top, top-left, top-right, middle,
+#: bottom-left, bottom-right, bottom)
+SEGMENTS: dict[int, tuple[int, ...]] = {
+    0: (1, 1, 1, 0, 1, 1, 1),
+    1: (0, 0, 1, 0, 0, 1, 0),
+    2: (1, 0, 1, 1, 1, 0, 1),
+    3: (1, 0, 1, 1, 0, 1, 1),
+    4: (0, 1, 1, 1, 0, 1, 0),
+    5: (1, 1, 0, 1, 0, 1, 1),
+    6: (1, 1, 0, 1, 1, 1, 1),
+    7: (1, 0, 1, 0, 0, 1, 0),
+    8: (1, 1, 1, 1, 1, 1, 1),
+    9: (1, 1, 1, 1, 0, 1, 1),
+}
+
+
+def render_digit(
+    digit: int,
+    size: int = 16,
+    thickness: int = 2,
+    offset: tuple[int, int] = (0, 0),
+) -> np.ndarray:
+    """Render one glyph as a (size, size) float32 image in [0, 1].
+
+    The glyph occupies roughly the central 60 % of the canvas; ``offset``
+    shifts it (clipped at the borders) for position jitter.
+    """
+    if digit not in SEGMENTS:
+        raise ValueError(f"digit must be 0-9, got {digit}")
+    if size < 8:
+        raise ValueError(f"size must be >= 8, got {size}")
+    if thickness < 1:
+        raise ValueError(f"thickness must be >= 1, got {thickness}")
+    canvas = np.zeros((size, size), dtype=np.float32)
+    top = size // 5 + offset[0]
+    bottom = size - size // 5 + offset[0]
+    middle = (top + bottom) // 2
+    left = size // 4 + offset[1]
+    right = size - size // 4 + offset[1]
+
+    def clamp(v: int) -> int:
+        return int(np.clip(v, 0, size - 1))
+
+    def horizontal(row: int) -> None:
+        r0, r1 = clamp(row), clamp(row + thickness)
+        canvas[r0 : r1 or r0 + 1, clamp(left) : clamp(right) + 1] = 1.0
+
+    def vertical(row0: int, row1: int, col: int) -> None:
+        c0, c1 = clamp(col), clamp(col + thickness)
+        canvas[clamp(row0) : clamp(row1) + 1, c0 : c1 or c0 + 1] = 1.0
+
+    on = SEGMENTS[digit]
+    if on[0]:
+        horizontal(top)
+    if on[1]:
+        vertical(top, middle, left)
+    if on[2]:
+        vertical(top, middle, right - thickness + 1)
+    if on[3]:
+        horizontal(middle)
+    if on[4]:
+        vertical(middle, bottom, left)
+    if on[5]:
+        vertical(middle, bottom, right - thickness + 1)
+    if on[6]:
+        horizontal(bottom - thickness + 1)
+    return canvas
+
+
+def make_digit_dataset(
+    n: int,
+    size: int = 16,
+    noise: float = 0.25,
+    jitter: int = 1,
+    rng: int | np.random.Generator | None = 0,
+) -> ArrayDataset:
+    """``n`` jittered, noisy seven-segment digits as a 1-channel dataset.
+
+    Features have shape ``(n, 1, size, size)``; labels are the digits.
+    ``noise`` is the white-noise std; ``jitter`` the max |position offset|
+    in pixels. Standardised to zero mean / unit std overall.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if noise < 0 or jitter < 0:
+        raise ValueError("noise and jitter must be non-negative")
+    gen = as_generator(rng)
+    labels = gen.integers(0, 10, size=n).astype(np.int64)
+    images = np.empty((n, 1, size, size), dtype=np.float32)
+    for i, digit in enumerate(labels):
+        offset = (int(gen.integers(-jitter, jitter + 1)), int(gen.integers(-jitter, jitter + 1)))
+        thickness = int(gen.integers(1, 3))
+        glyph = render_digit(int(digit), size=size, thickness=thickness, offset=offset)
+        images[i, 0] = glyph + gen.normal(0.0, noise, size=glyph.shape)
+    mean = images.mean()
+    std = images.std() or 1.0
+    return ArrayDataset((images - mean) / std, labels)

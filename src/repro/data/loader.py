@@ -1,0 +1,53 @@
+"""Batched iteration over datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset
+from repro.utils.rng import as_generator
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Yield ``(features, labels)`` numpy batches from an :class:`ArrayDataset`.
+
+    Shuffling uses the provided generator, re-drawn each epoch, so two loaders
+    constructed with equal seeds produce identical batch orders.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = as_generator(rng)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        features, labels = self.dataset.arrays()
+        n = len(labels)
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if len(idx) == 0:
+                break
+            yield features[idx], labels[idx]

@@ -1,0 +1,29 @@
+"""Deterministic dataset splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.datasets import ArrayDataset
+from repro.utils.rng import as_generator
+
+__all__ = ["train_test_split"]
+
+
+def train_test_split(
+    dataset: ArrayDataset,
+    test_fraction: float = 0.2,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Shuffle and split a dataset into (train, test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    n = len(dataset)
+    if n < 2:
+        raise ValueError("dataset too small to split")
+    gen = as_generator(rng)
+    order = gen.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return dataset.subset(train_idx), dataset.subset(test_idx)

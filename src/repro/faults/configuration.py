@@ -1,0 +1,157 @@
+"""FaultConfiguration: a concrete draw from a fault model.
+
+A configuration is an ordered mapping from parameter name to a uint32 XOR
+mask of the parameter's shape — the realisation of the error tensor ``e``
+in the paper's ``W' = e ⊕ W``. It doubles as the state of the MCMC kernels
+in :mod:`repro.mcmc`: proposals toggle bits in the masks, and the
+stationary distribution is the fault model's prior.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.bits.float32 import count_set_bits, mask_to_positions
+from repro.faults.model import FaultModel
+from repro.nn.module import Parameter
+
+__all__ = ["FaultConfiguration"]
+
+
+class FaultConfiguration:
+    """Named XOR masks over a fixed set of targets.
+
+    Construct via :meth:`sample` (a draw from a fault model) or
+    :meth:`empty` (the no-fault configuration), not directly, unless you
+    have masks from elsewhere.
+    """
+
+    def __init__(self, masks: Mapping[str, np.ndarray]) -> None:
+        self._masks: dict[str, np.ndarray] = {}
+        for name, mask in masks.items():
+            mask = np.asarray(mask)
+            if mask.dtype != np.uint32:
+                raise TypeError(f"mask for {name!r} must be uint32, got {mask.dtype}")
+            self._masks[name] = mask
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def sample(
+        cls,
+        targets: list[tuple[str, Parameter]],
+        fault_model: FaultModel,
+        rng: np.random.Generator,
+    ) -> "FaultConfiguration":
+        """Draw one mask per target from ``fault_model``.
+
+        Uses :meth:`FaultModel.sample_mask_for` so value-dependent models
+        (quantised representations, stuck-at variants) can derive the
+        equivalent float32 XOR mask from the stored parameter values.
+        """
+        return cls(
+            {
+                name: fault_model.for_target(name).sample_mask_for(param.data, rng)
+                for name, param in targets
+            }
+        )
+
+    @classmethod
+    def empty(cls, targets: list[tuple[str, Parameter]]) -> "FaultConfiguration":
+        """The all-zeros (fault-free) configuration over ``targets``."""
+        return cls({name: np.zeros(param.shape, dtype=np.uint32) for name, param in targets})
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    def mask(self, name: str) -> np.ndarray:
+        return self._masks[name]
+
+    def names(self) -> list[str]:
+        return list(self._masks)
+
+    def items(self) -> Iterator[tuple[str, np.ndarray]]:
+        return iter(self._masks.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._masks
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    # ------------------------------------------------------------------ #
+    # algebra and statistics
+    # ------------------------------------------------------------------ #
+
+    def copy(self) -> "FaultConfiguration":
+        return FaultConfiguration({name: mask.copy() for name, mask in self._masks.items()})
+
+    def xor(self, other: "FaultConfiguration") -> "FaultConfiguration":
+        """Elementwise XOR — used by MCMC proposals to toggle flip bits."""
+        if set(self._masks) != set(other._masks):
+            raise KeyError("configurations cover different targets")
+        return FaultConfiguration(
+            {name: self._masks[name] ^ other._masks[name] for name in self._masks}
+        )
+
+    def total_flips(self) -> int:
+        """Total number of flipped bits (Hamming weight) across all targets."""
+        return sum(count_set_bits(mask) for mask in self._masks.values())
+
+    def flips_per_target(self) -> dict[str, int]:
+        return {name: count_set_bits(mask) for name, mask in self._masks.items()}
+
+    def flip_positions(self) -> dict[str, np.ndarray]:
+        """Flat bit positions set in each target's mask (diagnostic)."""
+        return {name: mask_to_positions(mask) for name, mask in self._masks.items()}
+
+    def log_prob(self, fault_model: FaultModel) -> float:
+        """Joint log-probability of this configuration under ``fault_model``."""
+        return sum(
+            fault_model.for_target(name).log_prob_mask(mask) for name, mask in self._masks.items()
+        )
+
+    def is_empty(self) -> bool:
+        return all(not mask.any() for mask in self._masks.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultConfiguration):
+            return NotImplemented
+        if set(self._masks) != set(other._masks):
+            return False
+        return all(np.array_equal(self._masks[name], other._masks[name]) for name in self._masks)
+
+    def __hash__(self) -> int:  # configurations are mutable containers; identity hash
+        return id(self)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str) -> None:
+        """Write the masks to an ``.npz`` archive.
+
+        Campaigns use this to persist noteworthy configurations (e.g. the
+        critical fault sets found by :mod:`repro.sensitivity`) so an
+        analysis can be replayed exactly on another machine.
+        """
+        import os
+
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        np.savez(path, **{name: mask for name, mask in self._masks.items()})
+
+    @classmethod
+    def load(cls, path: str) -> "FaultConfiguration":
+        """Read a configuration written by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as archive:
+            masks = {name: archive[name] for name in archive.files}
+        return cls(masks)
+
+    def __repr__(self) -> str:
+        return f"FaultConfiguration(targets={len(self._masks)}, flips={self.total_flips()})"

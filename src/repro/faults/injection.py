@@ -1,0 +1,139 @@
+"""Applying fault configurations to a live network.
+
+Three mechanisms, one per storage surface class:
+
+* **Parameters** — :func:`apply_configuration` XORs masks into parameter
+  arrays inside a ``with`` block and restores the golden bits on exit, so a
+  campaign can run thousands of faulted forward passes off one golden
+  model without reconstruction.
+* **Activations** — :class:`ActivationInjector` registers forward hooks on
+  selected modules; each hook corrupts the module's output with a fresh
+  draw from the fault model (activations are transient, so a new fault
+  realisation per inference is the physically faithful choice, and matches
+  how TensorFI instruments TensorFlow ops).
+* **Inputs** — :class:`InputInjector` does the same via a forward
+  *pre*-hook on the root module.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+import numpy as np
+
+from repro.bits.float32 import apply_bit_mask
+from repro.faults.configuration import FaultConfiguration
+from repro.faults.model import FaultModel
+from repro.nn.module import HookHandle, Module
+from repro.tensor.tensor import Tensor
+
+__all__ = ["apply_configuration", "inject_parameters", "ActivationInjector", "InputInjector"]
+
+
+@contextlib.contextmanager
+def apply_configuration(model: Module, configuration: FaultConfiguration) -> Iterator[Module]:
+    """Context manager: corrupt the named parameters, restore on exit.
+
+    The restore path copies the saved golden bytes back even if the body
+    raises, so a crashed evaluation cannot leak faults into later runs.
+    """
+    saved: dict[str, np.ndarray] = {}
+    try:
+        for name, mask in configuration.items():
+            param = model.get_parameter(name)
+            saved[name] = param.data.copy()
+            param.data[...] = apply_bit_mask(param.data, mask)
+        yield model
+    finally:
+        for name, golden in saved.items():
+            model.get_parameter(name).data[...] = golden
+
+
+@contextlib.contextmanager
+def inject_parameters(
+    model: Module,
+    targets: list,
+    fault_model: FaultModel,
+    rng: np.random.Generator,
+) -> Iterator[FaultConfiguration]:
+    """Sample a configuration over ``targets`` and apply it for the block.
+
+    Yields the sampled :class:`FaultConfiguration` so callers can log it.
+    """
+    configuration = FaultConfiguration.sample(targets, fault_model, rng)
+    with apply_configuration(model, configuration):
+        yield configuration
+
+
+class _HookInjector:
+    """Shared lifecycle for hook-based (activation/input) injectors."""
+
+    def __init__(self, fault_model: FaultModel, rng: np.random.Generator) -> None:
+        self.fault_model = fault_model
+        self.rng = rng
+        self._handles: list[HookHandle] = []
+        #: number of tensors corrupted since construction (test observability)
+        self.corruption_count = 0
+
+    def _corrupt_tensor(self, tensor: Tensor) -> Tensor:
+        data = tensor.data
+        if data.dtype != np.float32:
+            data = data.astype(np.float32)
+        corrupted = self.fault_model.corrupt(data, self.rng)
+        self.corruption_count += 1
+        return Tensor(corrupted)
+
+    def remove(self) -> None:
+        for handle in self._handles:
+            handle.remove()
+        self._handles.clear()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.remove()
+
+
+class ActivationInjector(_HookInjector):
+    """Corrupt the outputs of the given modules on every forward pass.
+
+    Parameters
+    ----------
+    modules:
+        ``(name, module)`` pairs, e.g. from
+        :func:`repro.faults.targets.resolve_activation_modules`.
+    fault_model / rng:
+        Distribution over corruption and its random stream; a fresh fault
+        realisation is drawn per module per forward pass.
+    """
+
+    def __init__(
+        self,
+        modules: list[tuple[str, Module]],
+        fault_model: FaultModel,
+        rng: np.random.Generator,
+    ) -> None:
+        super().__init__(fault_model, rng)
+        self.module_names = [name for name, _ in modules]
+        for _, module in modules:
+            handle = module.register_forward_hook(self._hook)
+            self._handles.append(handle)
+
+    def _hook(self, module: Module, inputs: tuple, output: Tensor) -> Tensor:
+        return self._corrupt_tensor(output)
+
+
+class InputInjector(_HookInjector):
+    """Corrupt the network's input tensor before the forward pass."""
+
+    def __init__(self, model: Module, fault_model: FaultModel, rng: np.random.Generator) -> None:
+        super().__init__(fault_model, rng)
+        handle = model.register_forward_pre_hook(self._pre_hook)
+        self._handles.append(handle)
+
+    def _pre_hook(self, module: Module, inputs: tuple) -> tuple:
+        return tuple(
+            self._corrupt_tensor(x) if isinstance(x, Tensor) else x for x in inputs
+        )

@@ -1,0 +1,68 @@
+"""The FaultModel abstraction.
+
+A fault model is a probability distribution over corruptions of a float32
+array. Mask-based models (everything except stuck-at) express a corruption
+as a uint32 XOR mask, which composes with the paper's ``W' = e ⊕ W``
+transform; stuck-at faults depend on the stored value and override
+:meth:`corrupt` directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits.float32 import apply_bit_mask
+
+__all__ = ["FaultModel"]
+
+
+class FaultModel:
+    """Distribution over bit-level corruptions of a float32 array."""
+
+    def for_target(self, target: str) -> "FaultModel":
+        """A view of this model specialised to one named target tensor.
+
+        The base models are target-agnostic and return ``self``;
+        target-aware wrappers (e.g. :class:`repro.protect.ProtectedFaultModel`,
+        whose protected lanes differ per layer) override this. Campaign
+        plumbing calls it before every per-target draw or density
+        evaluation.
+        """
+        return self
+
+    def sample_mask(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        """Draw a uint32 XOR mask of ``shape``.
+
+        Mask-based models must implement this; value-dependent models may
+        raise and implement :meth:`sample_mask_for` / :meth:`corrupt` instead.
+        """
+        raise NotImplementedError
+
+    def sample_mask_for(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Draw a mask given the *stored values* being corrupted.
+
+        For value-independent models this is just ``sample_mask(shape)``.
+        Value-dependent models (e.g. faults in a quantised representation,
+        :class:`repro.quant.QuantizedBitFlipModel`) override it: any
+        corruption of stored values ``w → w'`` has an equivalent float32
+        XOR mask ``bits(w) ⊕ bits(w')``, which keeps the whole campaign
+        machinery (configuration algebra, apply/restore contexts) working.
+        """
+        return self.sample_mask(np.asarray(values).shape, rng)
+
+    def corrupt(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return a corrupted copy of ``values`` (float32)."""
+        mask = self.sample_mask_for(np.asarray(values, dtype=np.float32), rng)
+        return apply_bit_mask(values, mask)
+
+    def log_prob_mask(self, mask: np.ndarray) -> float:
+        """Log-probability of drawing ``mask`` (for models that define it).
+
+        Used by the MCMC kernels, whose stationary distribution is the fault
+        model's prior over masks.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not define a mask log-probability")
+
+    def expected_flips(self, n_elements: int) -> float:
+        """Expected number of flipped bits over ``n_elements`` floats."""
+        raise NotImplementedError

@@ -1,0 +1,60 @@
+"""MCMC inference over fault-configuration space.
+
+The paper "perform[s] inference multiple times on the DBN using MCMC to
+obtain the classification uncertainty of the network for different flip
+probabilities", and uses **MCMC mixing** to decide when an injection
+campaign is complete (advantage #1 over traditional FI).
+
+Components:
+
+* :class:`~repro.mcmc.targets.PriorTarget` — the fault model's prior over
+  :class:`~repro.faults.FaultConfiguration` (the push-forward of which is
+  the fault-induced output distribution);
+  :class:`~repro.mcmc.targets.TemperedErrorTarget` — a failure-biased
+  target ∝ prior·exp(β·error) for rare-event exploration, with importance
+  reweighting back to the prior.
+* Proposals — single-bit toggles (local moves), block resampling from the
+  prior (global moves), and mixtures.
+* :class:`~repro.mcmc.metropolis.MetropolisHastingsSampler` and
+  :class:`~repro.mcmc.forward.ForwardSampler` (i.i.d. ancestral draws).
+* :mod:`~repro.mcmc.diagnostics` — split-R̂ (Gelman–Rubin), effective
+  sample size, Geweke z, autocorrelation.
+* :class:`~repro.mcmc.mixing.CompletenessCriterion` — converts diagnostics
+  into the paper's stop-when-mixed campaign-completeness decision.
+"""
+
+from repro.mcmc.chain import Chain, ChainSet
+from repro.mcmc.targets import PriorTarget, TemperedErrorTarget
+from repro.mcmc.proposals import SingleBitToggle, BlockResample, MixtureProposal
+from repro.mcmc.forward import ForwardSampler
+from repro.mcmc.metropolis import MetropolisHastingsSampler
+from repro.mcmc.tempering import ParallelTemperingSampler, TemperingResult
+from repro.mcmc.diagnostics import (
+    split_r_hat,
+    effective_sample_size,
+    geweke_z,
+    autocorrelation,
+    monte_carlo_standard_error,
+)
+from repro.mcmc.mixing import CompletenessCriterion, CompletenessReport
+
+__all__ = [
+    "Chain",
+    "ChainSet",
+    "PriorTarget",
+    "TemperedErrorTarget",
+    "SingleBitToggle",
+    "BlockResample",
+    "MixtureProposal",
+    "ForwardSampler",
+    "MetropolisHastingsSampler",
+    "ParallelTemperingSampler",
+    "TemperingResult",
+    "split_r_hat",
+    "effective_sample_size",
+    "geweke_z",
+    "autocorrelation",
+    "monte_carlo_standard_error",
+    "CompletenessCriterion",
+    "CompletenessReport",
+]

@@ -1,0 +1,83 @@
+"""Chain storage for scalar statistics of sampled fault configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Chain", "ChainSet"]
+
+
+class Chain:
+    """One MCMC (or i.i.d.) chain's history.
+
+    Stores the scalar statistic per step (for BDLFI: the classification
+    error of the faulted network), the flip count per step, and acceptance
+    bookkeeping for MH kernels.
+    """
+
+    def __init__(self, chain_id: int = 0) -> None:
+        self.chain_id = chain_id
+        self._values: list[float] = []
+        self._flips: list[int] = []
+        self._accepts: list[bool] = []
+
+    def record(self, value: float, flips: int, accepted: bool = True) -> None:
+        self._values.append(float(value))
+        self._flips.append(int(flips))
+        self._accepts.append(bool(accepted))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=np.float64)
+
+    @property
+    def flips(self) -> np.ndarray:
+        return np.asarray(self._flips, dtype=np.int64)
+
+    @property
+    def acceptance_rate(self) -> float:
+        if not self._accepts:
+            return float("nan")
+        return float(np.mean(self._accepts))
+
+    def tail(self, discard_fraction: float = 0.0) -> np.ndarray:
+        """Values after discarding a burn-in prefix."""
+        if not 0.0 <= discard_fraction < 1.0:
+            raise ValueError(f"discard_fraction must be in [0, 1), got {discard_fraction}")
+        start = int(len(self._values) * discard_fraction)
+        return self.values[start:]
+
+    def __repr__(self) -> str:
+        return f"Chain(id={self.chain_id}, steps={len(self)}, accept={self.acceptance_rate:.2f})"
+
+
+class ChainSet:
+    """A group of same-length chains, as required by multi-chain diagnostics."""
+
+    def __init__(self, chains: list[Chain]) -> None:
+        if not chains:
+            raise ValueError("ChainSet requires at least one chain")
+        lengths = {len(c) for c in chains}
+        if len(lengths) > 1:
+            raise ValueError(f"chains have unequal lengths: {sorted(lengths)}")
+        self.chains = list(chains)
+
+    def __len__(self) -> int:
+        return len(self.chains)
+
+    @property
+    def steps(self) -> int:
+        return len(self.chains[0])
+
+    def matrix(self, discard_fraction: float = 0.0) -> np.ndarray:
+        """(num_chains, steps) matrix of statistic values after burn-in."""
+        return np.stack([c.tail(discard_fraction) for c in self.chains])
+
+    def pooled(self, discard_fraction: float = 0.0) -> np.ndarray:
+        return self.matrix(discard_fraction).reshape(-1)
+
+    def mean(self, discard_fraction: float = 0.0) -> float:
+        return float(self.pooled(discard_fraction).mean())

@@ -1,0 +1,157 @@
+"""Convergence diagnostics.
+
+These quantify the paper's completeness notion: "the ability to quantify
+'completeness' of an injection campaign (i.e., when further injections do
+not change measured hypothesis) using MCMC-mixing".
+
+* :func:`split_r_hat` — Gelman–Rubin potential scale reduction with chain
+  splitting (Gelman et al., BDA3): within- vs between-chain variance;
+  values near 1 mean the chains agree.
+* :func:`effective_sample_size` — Geyer initial-positive-sequence ESS.
+* :func:`geweke_z` — z-score comparing early vs late chain segments.
+* :func:`monte_carlo_standard_error` — ESS-adjusted standard error of the
+  pooled mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "autocorrelation",
+    "split_r_hat",
+    "effective_sample_size",
+    "geweke_z",
+    "monte_carlo_standard_error",
+]
+
+
+def autocorrelation(x: np.ndarray, max_lag: int | None = None) -> np.ndarray:
+    """Sample autocorrelation function of a 1-D series (lag 0 .. max_lag).
+
+    FFT-based; lag 0 is defined as 1. A constant series returns all zeros
+    past lag 0 (its autocovariance is identically zero).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"series must be 1-D, got shape {x.shape}")
+    n = len(x)
+    if n < 2:
+        raise ValueError("series must have at least 2 points")
+    if max_lag is None:
+        max_lag = n - 1
+    max_lag = min(max_lag, n - 1)
+    centered = x - x.mean()
+    variance = float(centered @ centered) / n
+    if variance == 0.0:
+        acf = np.zeros(max_lag + 1)
+        acf[0] = 1.0
+        return acf
+    size = 1 << (2 * n - 1).bit_length()
+    fft = np.fft.rfft(centered, size)
+    acov = np.fft.irfft(fft * np.conjugate(fft), size)[: max_lag + 1] / n
+    return acov / acov[0]
+
+
+def split_r_hat(chains: np.ndarray) -> float:
+    """Split-chain Gelman–Rubin statistic for (m, n) chain matrix.
+
+    Each chain is split in half (so intra-chain drift also inflates R̂),
+    giving 2m sequences of length n//2. R̂ → 1 as chains mix.
+    """
+    chains = np.asarray(chains, dtype=np.float64)
+    if chains.ndim != 2:
+        raise ValueError(f"expected (chains, steps) matrix, got shape {chains.shape}")
+    m, n = chains.shape
+    if n < 4:
+        raise ValueError(f"chains too short for split R-hat: {n} < 4")
+    half = n // 2
+    split = np.concatenate([chains[:, :half], chains[:, half : 2 * half]], axis=0)
+    s, length = split.shape
+
+    chain_means = split.mean(axis=1)
+    chain_vars = split.var(axis=1, ddof=1)
+    within = chain_vars.mean()
+    between = length * chain_means.var(ddof=1)
+    if within == 0.0:
+        # All chains constant: identical constants are perfectly converged.
+        return 1.0 if between == 0.0 else float("inf")
+    var_estimate = (length - 1) / length * within + between / length
+    return float(np.sqrt(var_estimate / within))
+
+
+def effective_sample_size(chains: np.ndarray) -> float:
+    """Multi-chain ESS via Geyer's initial positive sequence.
+
+    Accepts a 1-D series or an (m, n) matrix. Combines within-chain
+    autocorrelations with the multi-chain variance as in BDA3 §11.5.
+    """
+    chains = np.atleast_2d(np.asarray(chains, dtype=np.float64))
+    m, n = chains.shape
+    if n < 4:
+        raise ValueError(f"chains too short for ESS: {n} < 4")
+
+    chain_means = chains.mean(axis=1)
+    chain_vars = chains.var(axis=1, ddof=1)
+    within = chain_vars.mean()
+    if within == 0.0 and (m == 1 or chain_means.var() == 0.0):
+        return float(m * n)  # constant chains: no autocorrelation structure
+    between = n * chain_means.var(ddof=1) if m > 1 else 0.0
+    var_plus = (n - 1) / n * within + (between / n if m > 1 else within / n)
+
+    # Mean autocovariance across chains at each lag.
+    max_lag = n - 1
+    acov = np.zeros(max_lag + 1)
+    for row in chains:
+        centered = row - row.mean()
+        size = 1 << (2 * n - 1).bit_length()
+        fft = np.fft.rfft(centered, size)
+        acov += np.fft.irfft(fft * np.conjugate(fft), size)[: max_lag + 1] / n
+    acov /= m
+
+    rho = 1.0 - (within - acov) / var_plus
+    # Geyer: sum consecutive lag pairs while positive and decreasing.
+    t = 1
+    total = 0.0
+    previous_pair = float("inf")
+    while t + 1 <= max_lag:
+        pair = rho[t] + rho[t + 1]
+        if pair < 0:
+            break
+        pair = min(pair, previous_pair)  # enforce monotonicity
+        total += pair
+        previous_pair = pair
+        t += 2
+    tau = 1.0 + 2.0 * total
+    return float(m * n / max(tau, 1e-12))
+
+
+def geweke_z(chain: np.ndarray, first: float = 0.1, last: float = 0.5) -> float:
+    """Geweke convergence z-score comparing early and late chain windows.
+
+    |z| ≲ 2 is consistent with stationarity. Uses simple segment variances
+    (adequate for the weakly correlated chains BDLFI produces; spectral
+    density estimation would be overkill here).
+    """
+    chain = np.asarray(chain, dtype=np.float64)
+    if chain.ndim != 1:
+        raise ValueError("geweke_z expects a single 1-D chain")
+    n = len(chain)
+    if not (0 < first < 1 and 0 < last < 1 and first + last <= 1):
+        raise ValueError(f"invalid window fractions first={first}, last={last}")
+    if n < 10:
+        raise ValueError(f"chain too short for Geweke diagnostic: {n} < 10")
+    head = chain[: int(first * n)]
+    tail = chain[int((1 - last) * n) :]
+    var = head.var(ddof=1) / len(head) + tail.var(ddof=1) / len(tail)
+    if var == 0.0:
+        return 0.0
+    return float((head.mean() - tail.mean()) / np.sqrt(var))
+
+
+def monte_carlo_standard_error(chains: np.ndarray) -> float:
+    """Standard error of the pooled mean, deflated by the effective sample size."""
+    chains = np.atleast_2d(np.asarray(chains, dtype=np.float64))
+    ess = effective_sample_size(chains)
+    pooled_var = chains.reshape(-1).var(ddof=1)
+    return float(np.sqrt(pooled_var / max(ess, 1e-12)))

@@ -1,0 +1,62 @@
+"""Target densities over fault-configuration space.
+
+The quantity BDLFI reports is an expectation under the fault model's prior
+(the distribution of classification error when faults are drawn from the
+AVF model). Two targets make that tractable:
+
+* :class:`PriorTarget` — the prior itself. Forward sampling draws from it
+  i.i.d.; MH with local proposals walks it, and *its mixing speed is the
+  paper's completeness signal*.
+* :class:`TemperedErrorTarget` — ∝ prior(e)·exp(β·statistic(e)). Biasing
+  the walk toward configurations that cause misclassification makes
+  rare-event regimes (small p) explorable; estimates are reweighted back
+  to the prior with importance weights exp(−β·statistic). This implements
+  the paper's "algorithmic acceleration" advantage.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.faults.configuration import FaultConfiguration
+from repro.faults.model import FaultModel
+
+__all__ = ["PriorTarget", "TemperedErrorTarget"]
+
+
+class PriorTarget:
+    """log-density = log prior(configuration) under the fault model."""
+
+    def __init__(self, fault_model: FaultModel) -> None:
+        self.fault_model = fault_model
+
+    def log_density(self, configuration: FaultConfiguration) -> float:
+        return configuration.log_prob(self.fault_model)
+
+    def importance_log_weight(self, configuration: FaultConfiguration, statistic: float) -> float:
+        """Weight back to the prior — identically zero for the prior itself."""
+        return 0.0
+
+
+class TemperedErrorTarget:
+    """Failure-biased target ∝ prior(e) · exp(β · statistic(e)).
+
+    ``statistic`` must be the same function the sampler evaluates (the
+    chain caches its value per state, so no extra forward passes are
+    spent). β=0 recovers the prior; larger β concentrates the walk on
+    error-causing configurations.
+    """
+
+    def __init__(self, fault_model: FaultModel, statistic: Callable[[FaultConfiguration], float], beta: float) -> None:
+        if beta < 0:
+            raise ValueError(f"beta must be non-negative, got {beta}")
+        self.fault_model = fault_model
+        self.statistic = statistic
+        self.beta = float(beta)
+
+    def log_density(self, configuration: FaultConfiguration) -> float:
+        return configuration.log_prob(self.fault_model) + self.beta * self.statistic(configuration)
+
+    def importance_log_weight(self, configuration: FaultConfiguration, statistic: float) -> float:
+        """log w = −β·statistic, reweighting expectations back to the prior."""
+        return -self.beta * statistic

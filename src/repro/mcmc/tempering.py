@@ -1,0 +1,165 @@
+"""Parallel tempering over fault-configuration space.
+
+The failure-biased tempered target of :mod:`repro.mcmc.targets` explores
+error-causing configurations but pays an importance-weighting variance
+cost. Parallel tempering gets the best of both: a ladder of chains at
+inverse temperatures β₀ = 0 < β₁ < … < β_K runs side by side, adjacent
+rungs periodically *swap* states, and the cold rung (β = 0) — whose
+stationary distribution is exactly the fault prior — inherits the hot
+rungs' ability to cross between fault-space modes. Its trace is therefore
+an unbiased prior-expectation estimator with improved mixing; no
+reweighting needed.
+
+Swap rule: for rungs i, j with states x_i, x_j and shared prior,
+``log α = (β_i − β_j) · (stat(x_j) − stat(x_i))`` — the standard replica
+exchange acceptance, costing zero forward passes because statistics are
+cached per state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.faults.configuration import FaultConfiguration
+from repro.faults.model import FaultModel
+from repro.mcmc.chain import Chain, ChainSet
+from repro.utils.rng import spawn_generators
+
+__all__ = ["TemperingResult", "ParallelTemperingSampler"]
+
+
+@dataclass(frozen=True)
+class TemperingResult:
+    """Outcome of a parallel-tempering run."""
+
+    #: cold-rung (β=0) chains — samples from the fault prior
+    cold_chains: ChainSet
+    #: per-rung mean statistic (after burn-in), index-aligned with betas
+    rung_means: tuple[float, ...]
+    betas: tuple[float, ...]
+    swap_acceptance: float
+
+
+class ParallelTemperingSampler:
+    """Replica-exchange MH over fault configurations.
+
+    Parameters
+    ----------
+    targets / fault_model:
+        The mask space and its prior.
+    statistic:
+        ``FaultConfiguration → float`` (classification error for BDLFI).
+    proposal:
+        Local proposal shared by every rung (e.g.
+        :class:`~repro.mcmc.proposals.SingleBitToggle`).
+    betas:
+        Inverse-temperature ladder; must start at 0 (the prior rung) and be
+        strictly increasing.
+    """
+
+    def __init__(
+        self,
+        targets: list,
+        fault_model: FaultModel,
+        statistic: Callable[[FaultConfiguration], float],
+        proposal,
+        betas: tuple[float, ...] = (0.0, 5.0, 20.0, 80.0),
+    ) -> None:
+        if not targets:
+            raise ValueError("ParallelTemperingSampler requires targets")
+        betas = tuple(float(b) for b in betas)
+        if len(betas) < 2:
+            raise ValueError("need at least two rungs (a cold and a hot chain)")
+        if betas[0] != 0.0:
+            raise ValueError(f"the ladder must start at beta=0 (the prior rung), got {betas[0]}")
+        if any(a >= b for a, b in zip(betas, betas[1:])):
+            raise ValueError(f"betas must be strictly increasing, got {betas}")
+        self.targets = list(targets)
+        self.fault_model = fault_model
+        self.statistic = statistic
+        self.proposal = proposal
+        self.betas = betas
+
+    # ------------------------------------------------------------------ #
+    # core steps
+    # ------------------------------------------------------------------ #
+
+    def _mh_step(
+        self,
+        state: FaultConfiguration,
+        stat: float,
+        log_prior: float,
+        beta: float,
+        rng: np.random.Generator,
+    ) -> tuple[FaultConfiguration, float, float, bool]:
+        candidate, log_hastings = self.proposal.propose(state, rng)
+        candidate_stat = self.statistic(candidate)
+        candidate_log_prior = candidate.log_prob(self.fault_model)
+        log_alpha = (
+            (candidate_log_prior + beta * candidate_stat)
+            - (log_prior + beta * stat)
+            + log_hastings
+        )
+        if log_alpha >= 0 or np.log(rng.random()) < log_alpha:
+            return candidate, candidate_stat, candidate_log_prior, True
+        return state, stat, log_prior, False
+
+    def run_chain(self, sweeps: int, rng: np.random.Generator, chain_id: int = 0) -> tuple[Chain, np.ndarray, int, int]:
+        """One replica system: ``sweeps`` × (MH step per rung + one swap try).
+
+        Returns (cold chain, per-rung statistic sums, swap attempts, swap accepts).
+        """
+        if sweeps <= 0:
+            raise ValueError(f"sweeps must be positive, got {sweeps}")
+        n_rungs = len(self.betas)
+        states = [FaultConfiguration.sample(self.targets, self.fault_model, rng) for _ in range(n_rungs)]
+        stats = [self.statistic(s) for s in states]
+        log_priors = [s.log_prob(self.fault_model) for s in states]
+
+        cold = Chain(chain_id)
+        rung_sums = np.zeros(n_rungs)
+        swap_attempts = 0
+        swap_accepts = 0
+        for _ in range(sweeps):
+            for rung, beta in enumerate(self.betas):
+                states[rung], stats[rung], log_priors[rung], _ = self._mh_step(
+                    states[rung], stats[rung], log_priors[rung], beta, rng
+                )
+            # One adjacent-pair swap attempt per sweep.
+            low = int(rng.integers(0, n_rungs - 1))
+            high = low + 1
+            log_alpha = (self.betas[low] - self.betas[high]) * (stats[high] - stats[low])
+            swap_attempts += 1
+            if log_alpha >= 0 or np.log(rng.random()) < log_alpha:
+                states[low], states[high] = states[high], states[low]
+                stats[low], stats[high] = stats[high], stats[low]
+                log_priors[low], log_priors[high] = log_priors[high], log_priors[low]
+                swap_accepts += 1
+            cold.record(stats[0], states[0].total_flips())
+            rung_sums += stats
+        return cold, rung_sums / sweeps, swap_attempts, swap_accepts
+
+    def run(self, chains: int, sweeps: int, rng) -> TemperingResult:
+        """``chains`` independent replica systems with split streams."""
+        if chains <= 0:
+            raise ValueError(f"chains must be positive, got {chains}")
+        generators = spawn_generators(rng, chains)
+        cold_chains = []
+        rung_totals = np.zeros(len(self.betas))
+        attempts = 0
+        accepts = 0
+        for index, gen in enumerate(generators):
+            cold, rung_means, att, acc = self.run_chain(sweeps, gen, chain_id=index)
+            cold_chains.append(cold)
+            rung_totals += rung_means
+            attempts += att
+            accepts += acc
+        return TemperingResult(
+            cold_chains=ChainSet(cold_chains),
+            rung_means=tuple(float(v) for v in rung_totals / chains),
+            betas=self.betas,
+            swap_acceptance=accepts / attempts if attempts else float("nan"),
+        )

@@ -1,0 +1,37 @@
+"""Analytic moment propagation of fault distributions.
+
+The paper's Fig. 1 ② describes the Bayesian failure model as making the
+"output of each neuron ... a probability distribution over its output
+space given the original weights and p", with "fault behavior ...
+propagated through the NN". The sampling campaigns in :mod:`repro.core`
+realise that push-forward by Monte Carlo; this package realises it
+*analytically* for feed-forward ReLU networks, in the tradition of
+assumed-density filtering in Bayesian deep learning (Gal 2016 — the
+paper's reference [2]):
+
+1. :func:`~repro.moments.perturbation.weight_perturbation_moments` turns
+   the Bernoulli(p) bit-flip model into exact-to-O(p²) per-weight
+   perturbation means/variances over the *finite* flip deltas, plus the
+   probability that any *catastrophic* (non-finite) flip occurs;
+2. :class:`~repro.moments.propagation.MomentPropagator` pushes
+   (mean, variance) through Dense layers (exact, with uncertain weights)
+   and ReLUs (Gaussian moment matching), then converts output-logit
+   moments into a misclassification probability;
+3. the total prediction decomposes as
+   ``(1 − P_cat) · gaussian_error + P_cat · catastrophic_error``.
+
+One forward pass over closed-form moments replaces an entire sampling
+campaign in the small-p regime — the strongest form of the paper's
+"algorithmic acceleration" advantage — and ablation A7
+(``benchmarks/bench_moments.py``) validates it against Monte Carlo.
+"""
+
+from repro.moments.perturbation import weight_perturbation_moments, PerturbationMoments
+from repro.moments.propagation import MomentPropagator, MomentPrediction
+
+__all__ = [
+    "weight_perturbation_moments",
+    "PerturbationMoments",
+    "MomentPropagator",
+    "MomentPrediction",
+]

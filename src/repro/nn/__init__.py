@@ -1,0 +1,54 @@
+"""Neural-network library built on :mod:`repro.tensor`.
+
+Mirrors the subset of a torch-like API that the paper's evaluation needs:
+dense and convolutional layers, batch normalisation, pooling, residual
+blocks, and a module system with
+
+* named parameters/buffers and ``state_dict`` checkpointing, and
+* **forward pre/post hooks** — the mechanism :mod:`repro.faults` uses to
+  corrupt inputs and activations at run time, mirroring how TensorFI
+  instruments TensorFlow ops.
+
+The model zoo (:mod:`repro.nn.models`) provides the two networks evaluated
+in the paper — the 32-hidden-unit MLP of Fig. 1 and ResNet-18 of Fig. 3 —
+plus a LeNet-style CNN used in extension experiments.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.containers import Sequential, ModuleList
+from repro.nn.layers import Dense, Flatten, Identity, Dropout
+from repro.nn.conv import Conv2d
+from repro.nn.norm import BatchNorm1d, BatchNorm2d
+from repro.nn.pooling import MaxPool2d, AvgPool2d, GlobalAvgPool2d
+from repro.nn.activations import ReLU, LeakyReLU, Tanh, Sigmoid, Softmax, LogSoftmax
+from repro.nn import init
+from repro.nn.models import MLP, ResNet, LeNet, resnet18, paper_mlp
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "ModuleList",
+    "Dense",
+    "Flatten",
+    "Identity",
+    "Dropout",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "ReLU",
+    "LeakyReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "LogSoftmax",
+    "init",
+    "MLP",
+    "ResNet",
+    "LeNet",
+    "resnet18",
+    "paper_mlp",
+]

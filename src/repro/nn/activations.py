@@ -1,0 +1,58 @@
+"""Activation layers."""
+
+from __future__ import annotations
+
+from repro.nn.module import Module
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+__all__ = ["ReLU", "LeakyReLU", "Tanh", "Sigmoid", "Softmax", "LogSoftmax"]
+
+
+class ReLU(Module):
+    """Rectified linear unit, ``max(0, x)`` — the paper MLP's nonlinearity."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.leaky_relu(self.negative_slope)
+
+    def extra_repr(self) -> str:
+        return f"slope={self.negative_slope}"
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Softmax(Module):
+    """Softmax over the class axis — the output layer in the paper's Fig. 1."""
+
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.softmax(x, axis=self.axis)
+
+
+class LogSoftmax(Module):
+    def __init__(self, axis: int = -1) -> None:
+        super().__init__()
+        self.axis = axis
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.log_softmax(x, axis=self.axis)

@@ -1,0 +1,54 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Chain modules; children are addressable by integer index name ("0", "1", ...)."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        for idx, module in enumerate(modules):
+            setattr(self, str(idx), module)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._modules.values():
+            x = module(x)
+        return x
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]
+
+
+class ModuleList(Module):
+    """A list of modules registered for parameter traversal; no forward."""
+
+    def __init__(self, modules: list[Module] | None = None) -> None:
+        super().__init__()
+        for idx, module in enumerate(modules or []):
+            setattr(self, str(idx), module)
+
+    def append(self, module: Module) -> None:
+        setattr(self, str(len(self._modules)), module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, idx: int) -> Module:
+        return list(self._modules.values())[idx]

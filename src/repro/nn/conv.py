@@ -1,0 +1,56 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """Convolution over NCHW inputs.
+
+    ``weight`` shape is ``(out_channels, in_channels, kernel, kernel)``.
+    Square kernels only — sufficient for ResNet-18 and LeNet.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ValueError("channels, kernel_size, and stride must be positive")
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative, got {padding}")
+        gen = as_generator(rng)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kernel_size, kernel_size), gen)
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}->{self.out_channels}, k={self.kernel_size}, "
+            f"s={self.stride}, p={self.padding}, bias={self.bias is not None}"
+        )

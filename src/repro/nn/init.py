@@ -1,0 +1,71 @@
+"""Weight initialisers.
+
+All initialisers take an explicit ``numpy.random.Generator`` so that model
+construction is reproducible — the golden run (step 1 of the BDLFI
+procedure) must be re-derivable from a seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "kaiming_uniform",
+    "kaiming_normal",
+    "xavier_uniform",
+    "xavier_normal",
+    "zeros",
+    "ones",
+    "fan_in_and_out",
+]
+
+
+def fan_in_and_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense ``(in, out)`` or conv ``(out, in, kh, kw)`` shapes."""
+    if len(shape) == 2:
+        fan_in, fan_out = shape[0], shape[1]
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        raise ValueError(f"cannot infer fans for shape {shape}")
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)) -> np.ndarray:
+    """He-uniform initialisation — the standard choice before ReLU."""
+    fan_in, _ = fan_in_and_out(shape)
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = math.sqrt(2.0)) -> np.ndarray:
+    """He-normal initialisation."""
+    fan_in, _ = fan_in_and_out(shape)
+    std = gain / math.sqrt(fan_in)
+    return (rng.normal(0.0, std, size=shape)).astype(np.float32)
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot-uniform initialisation — used before tanh/sigmoid layers."""
+    fan_in, fan_out = fan_in_and_out(shape)
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot-normal initialisation."""
+    fan_in, fan_out = fan_in_and_out(shape)
+    std = gain * math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)

@@ -1,0 +1,85 @@
+"""Dense layer and structural utility layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["Dense", "Flatten", "Identity", "Dropout"]
+
+
+class Dense(Module):
+    """Fully connected layer: ``y = x @ W + b``.
+
+    ``W`` has shape ``(in_features, out_features)``; this is the FC layer of
+    the paper's Fig. 1 MLP (``y' = max(0, W'^T x + b')`` once the fault
+    transform is applied and a ReLU follows).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(f"feature counts must be positive, got {in_features}, {out_features}")
+        gen = as_generator(rng)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.kaiming_uniform((in_features, out_features), gen))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def extra_repr(self) -> str:
+        return f"in={self.in_features}, out={self.out_features}, bias={self.bias is not None}"
+
+
+class Flatten(Module):
+    """Flatten all dimensions after the batch axis."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Identity(Module):
+    """Pass-through module (used as a no-op residual shortcut)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode.
+
+    The mask RNG is drawn from a per-layer generator seeded at construction
+    so training runs are reproducible.
+    """
+
+    def __init__(self, p: float = 0.5, rng: int | np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = as_generator(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float32) / keep
+        return x * Tensor(mask)
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

@@ -1,0 +1,15 @@
+"""Model zoo: the networks evaluated in the paper plus extensions."""
+
+from repro.nn.models.mlp import MLP, paper_mlp
+from repro.nn.models.resnet import ResNet, BasicBlock, resnet18, resnet18_cifar_small
+from repro.nn.models.lenet import LeNet
+
+__all__ = [
+    "MLP",
+    "paper_mlp",
+    "ResNet",
+    "BasicBlock",
+    "resnet18",
+    "resnet18_cifar_small",
+    "LeNet",
+]

@@ -1,0 +1,73 @@
+"""LeNet-style CNN.
+
+Not in the paper's evaluation; included as a third architecture for the
+extension experiments (the paper's Section III closes with "We are
+currently investigating this behavior on other NNs" — LeNet is the natural
+next subject, being the canonical small CNN in the fault-injection
+literature, e.g. Ares and TensorFI both evaluate it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import ReLU
+from repro.nn.containers import Sequential
+from repro.nn.conv import Conv2d
+from repro.nn.layers import Dense, Flatten
+from repro.nn.module import Module
+from repro.nn.pooling import AvgPool2d, MaxPool2d
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["LeNet"]
+
+
+class LeNet(Module):
+    """Conv-pool ×2 then three dense layers, sized for 1×28×28 or 3×32×32 inputs.
+
+    ``pool`` selects max (classic) or average pooling; the average variant
+    is fully linear between ReLUs, which makes it analysable by
+    :class:`repro.moments.MomentPropagator`.
+    """
+
+    def __init__(
+        self,
+        in_channels: int = 1,
+        num_classes: int = 10,
+        image_size: int = 28,
+        pool: str = "max",
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if pool not in ("max", "avg"):
+            raise ValueError(f"pool must be 'max' or 'avg', got {pool!r}")
+        gen = as_generator(rng)
+        self.num_classes = num_classes
+        pool_layer = MaxPool2d if pool == "max" else AvgPool2d
+        # Two (conv k5 p2, pool /2) stages preserve then halve resolution twice.
+        feature_size = image_size // 4
+        if feature_size < 1:
+            raise ValueError(f"image_size {image_size} too small for LeNet")
+        self.features = Sequential(
+            Conv2d(in_channels, 6, 5, padding=2, rng=gen),
+            ReLU(),
+            pool_layer(2),
+            Conv2d(6, 16, 5, padding=2, rng=gen),
+            ReLU(),
+            pool_layer(2),
+        )
+        self.classifier = Sequential(
+            Flatten(),
+            Dense(16 * feature_size * feature_size, 120, rng=gen),
+            ReLU(),
+            Dense(120, 84, rng=gen),
+            ReLU(),
+            Dense(84, num_classes, rng=gen),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+    def extra_repr(self) -> str:
+        return f"classes={self.num_classes}"

@@ -1,0 +1,88 @@
+"""Multi-layer perceptron.
+
+The paper's Fig. 1 network is an MLP whose hidden fully connected layer has
+32 units (the Bayesian failure model shows Bernoulli variables b1..b32),
+followed by a softmax output. :func:`paper_mlp` builds exactly that
+topology; :class:`MLP` generalises to arbitrary depth for the extension
+experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import ReLU
+from repro.nn.containers import Sequential
+from repro.nn.layers import Dense
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["MLP", "paper_mlp"]
+
+
+class MLP(Module):
+    """Fully connected classifier with ReLU hidden layers.
+
+    Outputs raw logits; pair with
+    :class:`~repro.train.losses.CrossEntropyLoss` (which applies
+    log-softmax) for training, or :func:`repro.tensor.softmax` to obtain the
+    class distribution the paper's Fig. 1 depicts.
+
+    Parameters
+    ----------
+    in_features:
+        Input dimensionality (e.g. 2 for the decision-boundary study,
+        3*32*32 for flattened images).
+    hidden:
+        Sizes of the hidden layers, e.g. ``(32,)`` for the paper MLP.
+    num_classes:
+        Output logits count.
+    rng:
+        Seed or generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: tuple[int, ...],
+        num_classes: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if not hidden:
+            raise ValueError("MLP requires at least one hidden layer; use Dense directly otherwise")
+        gen = as_generator(rng)
+        self.in_features = in_features
+        self.num_classes = num_classes
+
+        layers: list[Module] = []
+        previous = in_features
+        for width in hidden:
+            layers.append(Dense(previous, width, rng=gen))
+            layers.append(ReLU())
+            previous = width
+        layers.append(Dense(previous, num_classes, rng=gen))
+        self.layers = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.layers(x)
+
+    def extra_repr(self) -> str:
+        return f"in={self.in_features}, classes={self.num_classes}"
+
+
+def paper_mlp(
+    in_features: int = 2,
+    num_classes: int = 2,
+    hidden_units: int = 32,
+    rng: int | np.random.Generator | None = None,
+) -> MLP:
+    """The MLP of the paper's Fig. 1: one 32-unit ReLU hidden layer + softmax head.
+
+    Defaults to a 2-D input / binary output configuration matching the
+    decision-boundary visualisation in Fig. 1 ③.
+    """
+    return MLP(in_features, (hidden_units,), num_classes, rng=rng)

@@ -1,0 +1,158 @@
+"""ResNet for CIFAR-style inputs.
+
+The paper's Fig. 3 evaluates ResNet-18 — four stages of two BasicBlocks
+each ("Conv / Batch Norm. + ReLU / Pooling / Dense" in the figure's legend,
+with stage indices 0–5 marking the stem, the four stages, and the dense
+head). This module implements that topology exactly:
+
+* 3×3 stem convolution (CIFAR variant: no 7×7/stride-2 stem, no max-pool),
+* stages of :class:`BasicBlock` (conv-bn-relu-conv-bn + identity/projection
+  shortcut, then relu),
+* global average pooling and a dense classifier.
+
+:func:`resnet18` gives the standard widths (64-128-256-512);
+:func:`resnet18_cifar_small` scales the widths down so CPU-only fault
+injection campaigns finish in seconds — layer *structure*, which drives the
+paper's finding F3 (no depth/error relationship), is unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import ReLU
+from repro.nn.containers import Sequential
+from repro.nn.conv import Conv2d
+from repro.nn.layers import Dense, Identity
+from repro.nn.module import Module
+from repro.nn.norm import BatchNorm2d
+from repro.nn.pooling import GlobalAvgPool2d
+from repro.tensor.tensor import Tensor
+from repro.utils.rng import as_generator
+
+__all__ = ["BasicBlock", "ResNet", "resnet18", "resnet18_cifar_small"]
+
+
+class BasicBlock(Module):
+    """Two 3×3 conv-bn pairs with a residual shortcut.
+
+    When the block changes resolution or width, the shortcut is a strided
+    1×1 projection convolution followed by batch norm (option B of the
+    ResNet paper), otherwise the identity.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        gen = as_generator(rng)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride, padding=1, bias=False, rng=gen)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu1 = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, 3, stride=1, padding=1, bias=False, rng=gen)
+        self.bn2 = BatchNorm2d(out_channels)
+        self.relu2 = ReLU()
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, 1, stride=stride, bias=False, rng=gen),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.relu1(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        out = out + self.shortcut(x)
+        return self.relu2(out)
+
+
+class ResNet(Module):
+    """CIFAR-style residual network.
+
+    Parameters
+    ----------
+    block_counts:
+        Blocks per stage; ``(2, 2, 2, 2)`` gives ResNet-18.
+    widths:
+        Channel width per stage.
+    num_classes:
+        Output logits.
+    in_channels:
+        Image channels (3 for CIFAR-like inputs).
+    """
+
+    def __init__(
+        self,
+        block_counts: tuple[int, ...] = (2, 2, 2, 2),
+        widths: tuple[int, ...] = (64, 128, 256, 512),
+        num_classes: int = 10,
+        in_channels: int = 3,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if len(block_counts) != len(widths):
+            raise ValueError(
+                f"block_counts and widths must align, got {len(block_counts)} vs {len(widths)}"
+            )
+        gen = as_generator(rng)
+        self.num_classes = num_classes
+
+        self.stem = Sequential(
+            Conv2d(in_channels, widths[0], 3, stride=1, padding=1, bias=False, rng=gen),
+            BatchNorm2d(widths[0]),
+            ReLU(),
+        )
+
+        stages: list[Module] = []
+        current = widths[0]
+        for stage_idx, (count, width) in enumerate(zip(block_counts, widths)):
+            blocks: list[Module] = []
+            for block_idx in range(count):
+                stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+                blocks.append(BasicBlock(current, width, stride=stride, rng=gen))
+                current = width
+            stages.append(Sequential(*blocks))
+        self.stages = Sequential(*stages)
+
+        self.pool = GlobalAvgPool2d()
+        self.fc = Dense(current, num_classes, rng=gen)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x)
+        out = self.stages(out)
+        out = self.pool(out)
+        return self.fc(out)
+
+    def extra_repr(self) -> str:
+        return f"classes={self.num_classes}"
+
+    def layer_names(self) -> list[str]:
+        """Dotted names of all parameterised leaf modules, in forward order.
+
+        Used by the layerwise injection campaign (paper Fig. 3) to address
+        individual conv/bn/dense layers.
+        """
+        names = []
+        for name, module in self.named_modules():
+            if name and next(iter(module._parameters.values()), None) is not None:
+                names.append(name)
+        return names
+
+
+def resnet18(num_classes: int = 10, in_channels: int = 3, rng=None) -> ResNet:
+    """Full-width ResNet-18 (11M+ parameters) — the paper's exact network."""
+    return ResNet((2, 2, 2, 2), (64, 128, 256, 512), num_classes, in_channels, rng=rng)
+
+
+def resnet18_cifar_small(num_classes: int = 10, in_channels: int = 3, rng=None) -> ResNet:
+    """ResNet-18 topology at reduced width (8-16-32-64) for CPU-budget campaigns.
+
+    Same depth, same residual structure, same layer count (and therefore the
+    same layerwise-injection x-axis as Fig. 3); only channel widths shrink.
+    """
+    return ResNet((2, 2, 2, 2), (8, 16, 32, 64), num_classes, in_channels, rng=rng)

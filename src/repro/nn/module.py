@@ -1,0 +1,252 @@
+"""Module and Parameter: the building blocks of the network library.
+
+A :class:`Module` owns parameters (trainable tensors), buffers
+(non-trainable state such as batch-norm running statistics), and child
+modules. Both are discoverable by dotted name, which is how the fault
+injector addresses targets ("``features.3.weight``").
+
+Hook support
+------------
+Fault injection into *activations* and *inputs* (two of the four fault
+surfaces in the paper's fault model) requires intercepting values mid
+forward pass without editing layer code. Modules therefore support:
+
+* ``register_forward_pre_hook(fn)`` — ``fn(module, inputs) -> inputs'``
+  called before ``forward``; may replace the inputs.
+* ``register_forward_hook(fn)`` — ``fn(module, inputs, output) -> output'``
+  called after ``forward``; may replace the output.
+
+Hooks return a handle whose ``remove()`` detaches them, so injection
+campaigns can instrument and cleanly de-instrument a network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["Module", "Parameter", "HookHandle"]
+
+
+class Parameter(Tensor):
+    """A trainable tensor attached to a module.
+
+    Identical to :class:`Tensor` except it is registered automatically when
+    assigned as a module attribute and always starts with
+    ``requires_grad=True``.
+    """
+
+    def __init__(self, data: np.ndarray) -> None:
+        super().__init__(np.asarray(data, dtype=np.float32), requires_grad=True)
+
+
+class HookHandle:
+    """Removable registration of a forward hook."""
+
+    _counter = itertools.count()
+
+    def __init__(self, registry: dict[int, Callable]) -> None:
+        self._registry = registry
+        self.id = next(HookHandle._counter)
+        self._removed = False
+
+    def remove(self) -> None:
+        if not self._removed:
+            self._registry.pop(self.id, None)
+            self._removed = True
+
+    def __enter__(self) -> "HookHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.remove()
+
+
+class Module:
+    """Base class for all network components.
+
+    Subclasses implement ``forward(*inputs) -> Tensor``; calling the module
+    runs pre-hooks, ``forward``, then post-hooks.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_forward_hooks", {})
+        object.__setattr__(self, "_forward_pre_hooks", {})
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------ #
+    # attribute plumbing
+    # ------------------------------------------------------------------ #
+
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Attach non-trainable state (saved in ``state_dict``, no gradient)."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def _set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a registered buffer, preserving its registered dtype."""
+        if name not in self._buffers:
+            raise KeyError(f"no buffer named {name!r}")
+        self._buffers[name] = np.asarray(value, dtype=self._buffers[name].dtype)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` for this module and children."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(dotted_name, module)``, including self under ``prefix``."""
+        yield (prefix.rstrip("."), self)
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield (f"{prefix}{name}", buf)
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    def get_submodule(self, dotted: str) -> "Module":
+        """Resolve a dotted module path (``""`` returns self)."""
+        module: Module = self
+        if dotted:
+            for part in dotted.split("."):
+                if part not in module._modules:
+                    raise KeyError(f"no submodule {part!r} in path {dotted!r}")
+                module = module._modules[part]
+        return module
+
+    def get_parameter(self, dotted: str) -> Parameter:
+        """Resolve a dotted parameter path like ``"blocks.0.conv1.weight"``."""
+        path, _, leaf = dotted.rpartition(".")
+        module = self.get_submodule(path)
+        if leaf not in module._parameters:
+            raise KeyError(f"no parameter {leaf!r} in module {path!r}")
+        return module._parameters[leaf]
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------ #
+    # train / eval, grad management
+    # ------------------------------------------------------------------ #
+
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # state dict
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat name → array mapping of all parameters and buffers (copies)."""
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        state.update({name: buf.copy() for name, buf in self.named_buffers()})
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters and buffers by name; raises on missing/mismatched keys."""
+        own_params = dict(self.named_parameters())
+        own_buffer_names = {name for name, _ in self.named_buffers()}
+        expected = set(own_params) | own_buffer_names
+        given = set(state)
+        if expected != given:
+            missing = expected - given
+            unexpected = given - expected
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, param in own_params.items():
+            value = np.asarray(state[name], dtype=param.data.dtype)
+            if value.shape != param.data.shape:
+                raise ValueError(f"shape mismatch for {name}: {value.shape} vs {param.data.shape}")
+            param.data[...] = value
+        for name in own_buffer_names:
+            path, _, leaf = name.rpartition(".")
+            module = self.get_submodule(path)
+            value = np.asarray(state[name], dtype=module._buffers[leaf].dtype)
+            if value.shape != module._buffers[leaf].shape:
+                raise ValueError(f"shape mismatch for buffer {name}")
+            module._set_buffer(leaf, value.copy())
+
+    # ------------------------------------------------------------------ #
+    # hooks and call protocol
+    # ------------------------------------------------------------------ #
+
+    def register_forward_pre_hook(self, fn: Callable) -> HookHandle:
+        """``fn(module, inputs_tuple)`` may return replacement inputs (tuple)."""
+        handle = HookHandle(self._forward_pre_hooks)
+        self._forward_pre_hooks[handle.id] = fn
+        return handle
+
+    def register_forward_hook(self, fn: Callable) -> HookHandle:
+        """``fn(module, inputs_tuple, output)`` may return a replacement output."""
+        handle = HookHandle(self._forward_hooks)
+        self._forward_hooks[handle.id] = fn
+        return handle
+
+    def forward(self, *inputs: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, *inputs: Tensor) -> Tensor:
+        for fn in list(self._forward_pre_hooks.values()):
+            result = fn(self, inputs)
+            if result is not None:
+                inputs = result if isinstance(result, tuple) else (result,)
+        output = self.forward(*inputs)
+        for fn in list(self._forward_hooks.values()):
+            result = fn(self, inputs, output)
+            if result is not None:
+                output = result
+        return output
+
+    # ------------------------------------------------------------------ #
+    # repr
+    # ------------------------------------------------------------------ #
+
+    def extra_repr(self) -> str:
+        return ""
+
+    def __repr__(self) -> str:
+        lines = [f"{type(self).__name__}({self.extra_repr()}"]
+        for name, child in self._modules.items():
+            child_repr = repr(child).replace("\n", "\n  ")
+            lines.append(f"  ({name}): {child_repr}")
+        if len(lines) == 1:
+            return lines[0] + ")"
+        lines.append(")")
+        return "\n".join(lines)

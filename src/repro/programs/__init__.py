@@ -1,0 +1,37 @@
+"""Fault injection for differentiable programs beyond neural networks.
+
+The paper closes its introduction with: "BFI can be used to inject faults
+into programs other than neural networks, with the only assumption being
+that of end-to-end differentiability." This package makes that concrete:
+three differentiable programs, each a :class:`repro.nn.Module` whose
+*parameters are the program's stored constants* (controller gains, filter
+taps, polynomial coefficients) and whose forward pass emits two-class
+"within spec / out of spec" logits — so the entire BDLFI machinery
+(campaigns, MCMC, completeness, sensitivity, protection) applies unchanged.
+
+* :class:`~repro.programs.pid.PIDController` — a PID loop driving a
+  second-order plant; spec = settles within tolerance. The canonical
+  safety-critical control example from the paper's motivation.
+* :class:`~repro.programs.filter.FIRDetector` — an FIR filter + energy
+  threshold detector over noisy signals.
+* :class:`~repro.programs.polynomial.PolynomialClassifier` — a polynomial
+  decision function; the minimal differentiable program.
+
+``make_*_dataset`` helpers generate matched evaluation batches whose labels
+are the *golden program's* spec outcomes, so the campaign statistic reads
+"fraction of cases where the faulted program's verdict diverges from the
+fault-free program".
+"""
+
+from repro.programs.pid import PIDController, make_pid_dataset
+from repro.programs.filter import FIRDetector, make_filter_dataset
+from repro.programs.polynomial import PolynomialClassifier, make_polynomial_dataset
+
+__all__ = [
+    "PIDController",
+    "make_pid_dataset",
+    "FIRDetector",
+    "make_filter_dataset",
+    "PolynomialClassifier",
+    "make_polynomial_dataset",
+]

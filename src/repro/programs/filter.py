@@ -1,0 +1,97 @@
+"""A differentiable FIR filter + energy detector.
+
+The program: an FIR filter with stored taps smooths a noisy input signal;
+a detector then declares "event" when the filtered signal's mean energy
+exceeds a stored threshold. Taps and threshold are the fault surface —
+bit flips in filter coefficients are a classic embedded-DSP failure mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+__all__ = ["FIRDetector", "make_filter_dataset"]
+
+
+def _default_taps(n_taps: int) -> np.ndarray:
+    """A Hamming-windowed moving-average lowpass."""
+    window = 0.54 - 0.46 * np.cos(2 * np.pi * np.arange(n_taps) / max(n_taps - 1, 1))
+    taps = window / window.sum()
+    return taps.astype(np.float32)
+
+
+class FIRDetector(Module):
+    """FIR smoothing followed by a mean-energy threshold test.
+
+    ``forward`` takes signals of shape ``(batch, length)`` and emits
+    ``[margin, −margin]`` logits with
+    ``margin = mean(filtered²) − threshold``; class 0 = "event present".
+    """
+
+    def __init__(self, n_taps: int = 9, threshold: float = 0.25) -> None:
+        super().__init__()
+        if n_taps < 2:
+            raise ValueError(f"need at least 2 taps, got {n_taps}")
+        self.n_taps = n_taps
+        self.taps = Parameter(_default_taps(n_taps))
+        self.threshold = Parameter(np.asarray([threshold], dtype=np.float32))
+
+    def filtered(self, signals: Tensor) -> Tensor:
+        """Valid-mode convolution of each row with the stored taps."""
+        _, length = signals.shape
+        if length < self.n_taps:
+            raise ValueError(f"signal length {length} shorter than filter ({self.n_taps} taps)")
+        windows = []
+        out_length = length - self.n_taps + 1
+        for k in range(self.n_taps):
+            windows.append(signals[:, k : k + out_length] * self.taps[k])
+        total = windows[0]
+        for w in windows[1:]:
+            total = total + w
+        return total
+
+    def forward(self, signals: Tensor) -> Tensor:
+        smoothed = self.filtered(signals)
+        energy = (smoothed * smoothed).mean(axis=1)
+        margin = (energy - self.threshold[0]).clip(-1e6, 1e6)
+        return Tensor.concatenate([margin.reshape(-1, 1), (-margin).reshape(-1, 1)], axis=1)
+
+
+def make_filter_dataset(
+    detector: FIRDetector,
+    n: int = 64,
+    length: int = 64,
+    event_fraction: float = 0.5,
+    noise: float = 0.6,
+    rng: int | np.random.Generator | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Noisy sinusoid-burst signals with golden-detector verdicts as labels.
+
+    Half the signals (by ``event_fraction``) carry a sinusoid burst that
+    the golden detector flags; labels are the golden verdicts, so campaign
+    error measures verdict divergence under faults.
+    """
+    from repro.tensor.tensor import no_grad
+    from repro.utils.rng import as_generator
+
+    if n <= 0 or length < detector.n_taps:
+        raise ValueError("invalid dataset geometry")
+    if not 0.0 <= event_fraction <= 1.0:
+        raise ValueError(f"event_fraction must be in [0, 1], got {event_fraction}")
+    gen = as_generator(rng)
+    t = np.arange(length, dtype=np.float32)
+    signals = gen.normal(0.0, noise, size=(n, length)).astype(np.float32)
+    has_event = gen.random(n) < event_fraction
+    amplitude = gen.uniform(0.8, 1.5, size=n).astype(np.float32)
+    phase = gen.uniform(0, 2 * np.pi, size=n).astype(np.float32)
+    burst = amplitude[:, None] * np.sin(0.25 * t[None, :] + phase[:, None])
+    signals[has_event] += burst[has_event].astype(np.float32)
+
+    detector.eval()
+    with no_grad():
+        logits = detector(Tensor(signals))
+    labels = logits.data.argmax(axis=1).astype(np.int64)
+    return signals, labels

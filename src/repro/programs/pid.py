@@ -1,0 +1,134 @@
+"""A differentiable PID control loop.
+
+The program: a PID controller with stored gains (kp, ki, kd) drives a
+damped second-order plant (mass-spring-damper) toward a setpoint for a
+fixed horizon, by explicit-Euler integration built entirely from tensor
+ops — so the closed-loop tracking error is differentiable in the gains,
+exactly the property BDLFI needs.
+
+Spec: the mean absolute tracking error over the final quarter of the
+horizon must be below ``tolerance``. The forward pass emits logits
+``[margin, −margin]`` with ``margin = tolerance − settling error``, so
+argmax gives class 0 = "within spec". Bit flips in the stored gains
+(injected with the usual ``W' = e ⊕ W`` machinery) corrupt the control law
+and push trajectories out of spec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+__all__ = ["PIDController", "make_pid_dataset"]
+
+
+class PIDController(Module):
+    """PID gains as fault-injectable parameters; plant simulation as forward.
+
+    Parameters
+    ----------
+    kp, ki, kd:
+        Initial gains (tuned defaults settle the default plant well).
+    plant:
+        ``(mass, damping, stiffness)`` of the controlled plant.
+    horizon / dt:
+        Simulation length and step.
+    tolerance:
+        Settling-error spec bound.
+    """
+
+    def __init__(
+        self,
+        kp: float = 8.0,
+        ki: float = 2.0,
+        kd: float = 3.0,
+        plant: tuple[float, float, float] = (1.0, 1.2, 2.0),
+        horizon: int = 60,
+        dt: float = 0.05,
+        tolerance: float = 0.15,
+    ) -> None:
+        super().__init__()
+        if horizon <= 4:
+            raise ValueError(f"horizon must exceed 4 steps, got {horizon}")
+        if dt <= 0 or tolerance <= 0:
+            raise ValueError("dt and tolerance must be positive")
+        self.kp = Parameter(np.asarray([kp], dtype=np.float32))
+        self.ki = Parameter(np.asarray([ki], dtype=np.float32))
+        self.kd = Parameter(np.asarray([kd], dtype=np.float32))
+        self.plant = plant
+        self.horizon = horizon
+        self.dt = dt
+        self.tolerance = tolerance
+
+    def simulate(self, setpoints: Tensor) -> Tensor:
+        """Mean |tracking error| over the settling window, per batch element.
+
+        ``setpoints`` has shape ``(batch, 1)`` (target position per case).
+        """
+        mass, damping, stiffness = self.plant
+        dt = self.dt
+        target = setpoints.reshape(setpoints.shape[0])
+
+        position = target * 0.0
+        velocity = target * 0.0
+        integral = target * 0.0
+        previous_error = target - position
+
+        settle_start = self.horizon - self.horizon // 4
+        settle_terms = []
+        for step in range(self.horizon):
+            error = target - position
+            integral = integral + error * dt
+            derivative = (error - previous_error) * (1.0 / dt)
+            control = self.kp * error + self.ki * integral + self.kd * derivative
+            # Clip actuator output: a real actuator saturates, and this also
+            # keeps corrupted-gain simulations numerically bounded.
+            control = control.clip(-1e4, 1e4)
+            acceleration = (control - damping * velocity - stiffness * position) * (1.0 / mass)
+            velocity = (velocity + acceleration * dt).clip(-1e6, 1e6)
+            position = (position + velocity * dt).clip(-1e6, 1e6)
+            previous_error = error
+            if step >= settle_start:
+                settle_terms.append(error.abs())
+        total = settle_terms[0]
+        for term in settle_terms[1:]:
+            total = total + term
+        return total * (1.0 / len(settle_terms))
+
+    def forward(self, setpoints: Tensor) -> Tensor:
+        settle_error = self.simulate(setpoints)
+        margin = self.tolerance - settle_error
+        return Tensor.concatenate(
+            [margin.reshape(-1, 1), (-margin).reshape(-1, 1)], axis=1
+        )
+
+
+def make_pid_dataset(
+    controller: PIDController,
+    n: int = 64,
+    setpoint_range: tuple[float, float] = (0.2, 2.0),
+    rng: int | np.random.Generator | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Setpoints plus the *golden* controller's spec verdicts as labels.
+
+    Returns ``(inputs, labels)`` ready for
+    :class:`repro.core.BayesianFaultInjector`: label 0 = the fault-free
+    controller settles this setpoint within spec.
+    """
+    from repro.tensor.tensor import no_grad
+    from repro.utils.rng import as_generator
+
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    gen = as_generator(rng)
+    lo, hi = setpoint_range
+    if lo >= hi:
+        raise ValueError(f"degenerate setpoint range {setpoint_range}")
+    setpoints = gen.uniform(lo, hi, size=(n, 1)).astype(np.float32)
+    controller.eval()
+    with no_grad():
+        logits = controller(Tensor(setpoints))
+    labels = logits.data.argmax(axis=1).astype(np.int64)
+    return setpoints, labels

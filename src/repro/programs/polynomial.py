@@ -1,0 +1,65 @@
+"""A differentiable polynomial decision function.
+
+The minimal "program other than a neural network": classify scalar inputs
+by the sign of a stored polynomial. Useful as the simplest end-to-end test
+of program fault injection, and because its fault behaviour is analysable
+by hand (a flip in the leading coefficient moves every root).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+from repro.tensor.tensor import Tensor
+
+__all__ = ["PolynomialClassifier", "make_polynomial_dataset"]
+
+
+class PolynomialClassifier(Module):
+    """Sign-of-polynomial classifier with fault-injectable coefficients.
+
+    ``coefficients[k]`` multiplies ``x^k``. Forward emits
+    ``[p(x), −p(x)]`` logits: class 0 where the polynomial is positive.
+    """
+
+    def __init__(self, coefficients: np.ndarray | list[float]) -> None:
+        super().__init__()
+        coefficients = np.asarray(coefficients, dtype=np.float32)
+        if coefficients.ndim != 1 or coefficients.size == 0:
+            raise ValueError("coefficients must be a non-empty 1-D array")
+        self.degree = coefficients.size - 1
+        self.coefficients = Parameter(coefficients)
+
+    def forward(self, x: Tensor) -> Tensor:
+        values = x.reshape(x.shape[0])
+        # Horner evaluation keeps the op count linear in the degree.
+        result = values * 0.0 + self.coefficients[self.degree]
+        for k in range(self.degree - 1, -1, -1):
+            result = result * values + self.coefficients[k]
+        result = result.clip(-1e6, 1e6)
+        return Tensor.concatenate([result.reshape(-1, 1), (-result).reshape(-1, 1)], axis=1)
+
+
+def make_polynomial_dataset(
+    classifier: PolynomialClassifier,
+    n: int = 128,
+    x_range: tuple[float, float] = (-2.0, 2.0),
+    rng: int | np.random.Generator | None = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniform inputs with the golden polynomial's sign verdicts as labels."""
+    from repro.tensor.tensor import no_grad
+    from repro.utils.rng import as_generator
+
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    lo, hi = x_range
+    if lo >= hi:
+        raise ValueError(f"degenerate x range {x_range}")
+    gen = as_generator(rng)
+    inputs = gen.uniform(lo, hi, size=(n, 1)).astype(np.float32)
+    classifier.eval()
+    with no_grad():
+        logits = classifier(Tensor(inputs))
+    labels = logits.data.argmax(axis=1).astype(np.int64)
+    return inputs, labels

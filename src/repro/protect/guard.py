@@ -1,0 +1,147 @@
+"""Margin-based runtime guarding — finding F1 turned into a mechanism.
+
+The paper: "the points that are close to the decision boundary (i.e.,
+harder to classify) are more egregiously affected by errors. By analyzing
+the probability of errors near the boundaries, we can set a threshold on
+the regions of the feature space that need more protection and
+verification of correctness."
+
+In input dimensions beyond 2 the boundary-distance proxy is the network's
+own confidence *margin*: the gap between the top two logits. The
+:class:`MarginGuard` flags low-margin inputs for extra verification
+(re-execution, ECC-protected inference, human review). Its quality metric
+is the coverage curve: what fraction of fault-induced misclassifications
+land on flagged inputs, versus what fraction of traffic gets flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.faults.configuration import FaultConfiguration
+from repro.faults.injection import apply_configuration
+from repro.faults.model import FaultModel
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor, no_grad
+
+__all__ = ["MarginGuard", "GuardEvaluation"]
+
+
+@dataclass(frozen=True)
+class GuardEvaluation:
+    """Coverage/cost of a margin threshold under a fault campaign."""
+
+    threshold: float
+    #: fraction of all inputs the guard flags (the verification cost)
+    flagged_fraction: float
+    #: fraction of fault-induced prediction flips that occurred on flagged inputs
+    capture_fraction: float
+    #: flips per unflagged input per fault draw (the residual silent risk)
+    residual_flip_rate: float
+
+    def summary_row(self) -> dict[str, float]:
+        return {
+            "threshold": self.threshold,
+            "flagged_%": 100 * self.flagged_fraction,
+            "captured_%": 100 * self.capture_fraction,
+            "residual_flip_rate": self.residual_flip_rate,
+        }
+
+
+class MarginGuard:
+    """Flag inputs whose top-2 logit margin falls below a threshold."""
+
+    def __init__(self, model: Module) -> None:
+        self.model = model.eval()
+
+    def margins(self, inputs: np.ndarray) -> np.ndarray:
+        """Top-1 minus top-2 logit per input (the fault-vulnerability proxy)."""
+        inputs = np.asarray(inputs, dtype=np.float32)
+        with no_grad():
+            logits = self.model(Tensor(inputs)).data
+        if logits.shape[1] < 2:
+            raise ValueError("margin guarding needs at least 2 classes")
+        part = np.partition(logits, -2, axis=1)
+        return (part[:, -1] - part[:, -2]).astype(np.float64)
+
+    def flags(self, inputs: np.ndarray, threshold: float) -> np.ndarray:
+        """Boolean mask of inputs needing extra verification."""
+        return self.margins(inputs) < threshold
+
+    def calibrate(self, inputs: np.ndarray, flag_fraction: float) -> float:
+        """Threshold flagging (approximately) the requested traffic fraction."""
+        if not 0.0 < flag_fraction < 1.0:
+            raise ValueError(f"flag_fraction must be in (0, 1), got {flag_fraction}")
+        margins = self.margins(inputs)
+        return float(np.quantile(margins, flag_fraction))
+
+    # ------------------------------------------------------------------ #
+    # evaluation under faults
+    # ------------------------------------------------------------------ #
+
+    def evaluate(
+        self,
+        inputs: np.ndarray,
+        threshold: float,
+        fault_model: FaultModel,
+        targets: list,
+        samples: int,
+        rng: np.random.Generator,
+    ) -> GuardEvaluation:
+        """Measure the coverage curve point at ``threshold``.
+
+        Runs ``samples`` fault draws; for each, records which inputs'
+        predictions flipped, then splits flips into flagged/unflagged.
+        """
+        if samples <= 0:
+            raise ValueError(f"samples must be positive, got {samples}")
+        inputs = np.asarray(inputs, dtype=np.float32)
+        flagged = self.flags(inputs, threshold)
+        x = Tensor(inputs)
+        with no_grad():
+            golden = self.model(x).data.argmax(axis=1)
+
+        flips_flagged = 0
+        flips_unflagged = 0
+        for _ in range(samples):
+            configuration = FaultConfiguration.sample(targets, fault_model, rng)
+            with apply_configuration(self.model, configuration):
+                with no_grad(), np.errstate(all="ignore"):
+                    predictions = self.model(x).data.argmax(axis=1)
+            changed = predictions != golden
+            flips_flagged += int(changed[flagged].sum())
+            flips_unflagged += int(changed[~flagged].sum())
+
+        total_flips = flips_flagged + flips_unflagged
+        unflagged_count = int((~flagged).sum())
+        return GuardEvaluation(
+            threshold=float(threshold),
+            flagged_fraction=float(flagged.mean()),
+            capture_fraction=flips_flagged / total_flips if total_flips else float("nan"),
+            residual_flip_rate=(
+                flips_unflagged / (unflagged_count * samples) if unflagged_count else 0.0
+            ),
+        )
+
+    def coverage_curve(
+        self,
+        inputs: np.ndarray,
+        fault_model: FaultModel,
+        targets: list,
+        flag_fractions: tuple[float, ...] = (0.05, 0.1, 0.2, 0.4),
+        samples: int = 100,
+        rng: np.random.Generator | int | None = 0,
+    ) -> list[GuardEvaluation]:
+        """Coverage/cost evaluations over a grid of flagged-traffic budgets."""
+        from repro.utils.rng import as_generator
+
+        generator = as_generator(rng)
+        evaluations = []
+        for fraction in flag_fractions:
+            threshold = self.calibrate(inputs, fraction)
+            evaluations.append(
+                self.evaluate(inputs, threshold, fault_model, targets, samples, generator)
+            )
+        return evaluations

@@ -1,0 +1,139 @@
+"""Protection schemes as bit-lane masks over fault targets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bits.fields import field_mask
+from repro.bits.float32 import BITS_PER_FLOAT
+from repro.faults.model import FaultModel
+
+__all__ = ["ProtectionScheme", "ProtectedFaultModel"]
+
+
+@dataclass(frozen=True)
+class ProtectionScheme:
+    """Which bits of which targets are protected (cannot flip).
+
+    ``lanes_by_target`` maps a dotted parameter name to a frozenset of
+    protected bit lanes; the special key ``"*"`` applies to every target
+    not listed explicitly. Construct via the classmethods for the common
+    cases.
+    """
+
+    lanes_by_target: dict[str, frozenset[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for target, lanes in self.lanes_by_target.items():
+            for lane in lanes:
+                if not 0 <= lane < BITS_PER_FLOAT:
+                    raise ValueError(f"bit lane {lane} out of range for target {target!r}")
+        object.__setattr__(
+            self,
+            "lanes_by_target",
+            {name: frozenset(v) for name, v in self.lanes_by_target.items()},
+        )
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def none(cls) -> "ProtectionScheme":
+        return cls({})
+
+    @classmethod
+    def field_everywhere(cls, field_name: str) -> "ProtectionScheme":
+        """Protect one IEEE-754 field (sign/exponent/mantissa) in every target."""
+        mask = int(field_mask(field_name))
+        lanes = frozenset(b for b in range(BITS_PER_FLOAT) if mask >> b & 1)
+        return cls({"*": lanes})
+
+    @classmethod
+    def full(cls) -> "ProtectionScheme":
+        """Protect every bit everywhere (ideal, 100 % overhead)."""
+        return cls({"*": frozenset(range(BITS_PER_FLOAT))})
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def protected_lanes(self, target: str) -> frozenset[int]:
+        if target in self.lanes_by_target:
+            return self.lanes_by_target[target]
+        return self.lanes_by_target.get("*", frozenset())
+
+    def protection_mask(self, target: str) -> np.uint32:
+        """uint32 with protected bits set (to be cleared from fault masks)."""
+        mask = np.uint32(0)
+        for lane in self.protected_lanes(target):
+            mask |= np.uint32(1) << np.uint32(lane)
+        return mask
+
+    def overhead_bits(self, targets: list) -> int:
+        """Total protected bits over the given ``(name, parameter)`` targets.
+
+        A proxy for storage/area overhead: one redundant bit per protected
+        bit (parity-per-bit upper bound; real ECC amortises better, so this
+        is conservative).
+        """
+        return sum(param.size * len(self.protected_lanes(name)) for name, param in targets)
+
+    def overhead_fraction(self, targets: list) -> float:
+        """Protected bits as a fraction of all stored bits."""
+        total = sum(param.size for _, param in targets) * BITS_PER_FLOAT
+        if total == 0:
+            raise ValueError("no targets")
+        return self.overhead_bits(targets) / total
+
+    def merged_with(self, other: "ProtectionScheme") -> "ProtectionScheme":
+        """Union of two schemes."""
+        combined = dict(self.lanes_by_target)
+        for target, lanes in other.lanes_by_target.items():
+            combined[target] = combined.get(target, frozenset()) | lanes
+        return ProtectionScheme(combined)
+
+
+class ProtectedFaultModel(FaultModel):
+    """A fault model filtered through a protection scheme.
+
+    Sampling delegates to the base model, then clears every flip landing on
+    a protected lane of the *current target* — set per target with
+    :meth:`for_target` (campaign plumbing calls the model once per target
+    tensor, so the injector binds the name before each draw).
+
+    The resulting mask distribution is exactly "base model conditioned on
+    protected bits not flipping" for per-bit-independent models like the
+    Bernoulli AVF model, since clearing independent lanes is equivalent to
+    setting their flip probability to zero.
+    """
+
+    def __init__(self, base: FaultModel, scheme: ProtectionScheme, target: str = "*") -> None:
+        self.base = base
+        self.scheme = scheme
+        self.target = target
+
+    def for_target(self, target: str) -> "ProtectedFaultModel":
+        """A view of this model bound to one target's protected lanes."""
+        return ProtectedFaultModel(self.base, self.scheme, target)
+
+    def sample_mask(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        mask = self.base.sample_mask(shape, rng)
+        protected = self.scheme.protection_mask(self.target)
+        return mask & ~protected
+
+    def log_prob_mask(self, mask: np.ndarray) -> float:
+        protected = self.scheme.protection_mask(self.target)
+        if np.any(np.asarray(mask, dtype=np.uint32) & protected):
+            return -np.inf  # impossible under protection
+        return self.base.log_prob_mask(mask)
+
+    def expected_flips(self, n_elements: int) -> float:
+        unprotected = BITS_PER_FLOAT - len(self.scheme.protected_lanes(self.target))
+        base_per_element = self.base.expected_flips(n_elements) / max(n_elements, 1)
+        return n_elements * base_per_element * unprotected / BITS_PER_FLOAT
+
+    def __repr__(self) -> str:
+        return f"ProtectedFaultModel(base={self.base!r}, target={self.target!r})"

@@ -1,0 +1,35 @@
+"""Quantised (int8) storage and its fault model.
+
+The paper's networks store parameters as "32-bit floating point numbers"
+and note "BDLFI can also be extended to other fault models." The most
+important other model in practice is fixed-point: embedded accelerators
+(the paper's stated deployment target) overwhelmingly store weights as
+int8. This package provides that extension:
+
+* :func:`~repro.quant.quantize.quantize_tensor` /
+  :func:`~repro.quant.quantize.dequantize_tensor` — symmetric per-tensor
+  int8 quantisation;
+* :func:`~repro.quant.quantize.quantize_model` — swap a trained model's
+  parameters for their int8-roundtripped values (post-training
+  quantisation; returns per-tensor scales and the accuracy you kept);
+* :class:`~repro.quant.fault_model.QuantizedBitFlipModel` — Bernoulli
+  per-bit flips applied in the *int8 code space*: the corruption of stored
+  codes is converted to the equivalent float32 XOR mask, so every
+  campaign, proposal, and restore path works unchanged.
+
+Ablation A6 (``benchmarks/bench_quantization.py``) reproduces the known
+result (Li et al. SC'17, Reagen et al. DAC'18) that fixed-point storage is
+far more fault-resilient per bit than float32 — int8 has no exponent
+field, so no single flip can explode a value beyond the tensor's scale.
+"""
+
+from repro.quant.quantize import quantize_tensor, dequantize_tensor, quantize_model, QuantizationReport
+from repro.quant.fault_model import QuantizedBitFlipModel
+
+__all__ = [
+    "quantize_tensor",
+    "dequantize_tensor",
+    "quantize_model",
+    "QuantizationReport",
+    "QuantizedBitFlipModel",
+]

@@ -1,0 +1,93 @@
+"""Bernoulli bit flips in int8 code space.
+
+Each stored weight occupies 8 bits (two's-complement code); every bit is
+an independent Bernoulli(p) flip, mirroring the paper's float32 model one
+to one. The corruption is *value-dependent* in float32 terms — flipping
+code bit b changes the dequantised value by ±scale·2^b depending on the
+current code — so the model overrides
+:meth:`~repro.faults.FaultModel.sample_mask_for` and emits the equivalent
+float32 XOR mask. Everything downstream (apply/restore, configuration
+algebra, campaigns) is unchanged.
+
+Works on models processed by :func:`repro.quant.quantize_model`: stored
+float values must be exact multiples of the per-target scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bits.float32 import float_to_bits
+from repro.faults.model import FaultModel
+from repro.quant.quantize import dequantize_tensor, quantize_tensor
+
+__all__ = ["QuantizedBitFlipModel"]
+
+_BITS_PER_CODE = 8
+
+
+class QuantizedBitFlipModel(FaultModel):
+    """Per-bit Bernoulli flips over the int8 codes of stored weights.
+
+    Parameters
+    ----------
+    p:
+        Per-bit flip probability (same AVF semantics as the float model).
+    scales:
+        Per-target quantisation scales from
+        :func:`repro.quant.quantize_model`. The special key ``"*"`` is a
+        fallback scale for unlisted targets.
+    """
+
+    def __init__(self, p: float, scales: dict[str, float], target: str = "*") -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"flip probability must be in [0, 1], got {p}")
+        if not scales:
+            raise ValueError("scales must be non-empty (use quantize_model's report)")
+        for name, scale in scales.items():
+            if scale <= 0:
+                raise ValueError(f"scale for {name!r} must be positive, got {scale}")
+        self.p = float(p)
+        self.scales = dict(scales)
+        self.target = target
+
+    def for_target(self, target: str) -> "QuantizedBitFlipModel":
+        return QuantizedBitFlipModel(self.p, self.scales, target)
+
+    def _scale_for_current_target(self) -> float:
+        if self.target in self.scales:
+            return self.scales[self.target]
+        if "*" in self.scales:
+            return self.scales["*"]
+        raise KeyError(f"no quantisation scale for target {self.target!r}")
+
+    def sample_mask(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError(
+            "QuantizedBitFlipModel is value-dependent; campaigns use sample_mask_for"
+        )
+
+    def sample_mask_for(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        values = np.asarray(values, dtype=np.float32)
+        scale = self._scale_for_current_target()
+        codes = np.clip(np.round(values.astype(np.float64) / scale), -127, 127).astype(np.int8)
+
+        # Bernoulli flips over the 8-bit code space, sampled sparsely.
+        n_codes = codes.size
+        total_bits = n_codes * _BITS_PER_CODE
+        count = int(rng.binomial(total_bits, self.p)) if total_bits else 0
+        if count == 0:
+            return np.zeros(values.shape, dtype=np.uint32)
+        positions = rng.choice(total_bits, size=count, replace=False)
+        flat_codes = codes.reshape(-1).view(np.uint8).copy()
+        elements = positions // _BITS_PER_CODE
+        lanes = (positions % _BITS_PER_CODE).astype(np.uint8)
+        np.bitwise_xor.at(flat_codes, elements, np.uint8(1) << lanes)
+
+        corrupted = dequantize_tensor(flat_codes.view(np.int8), scale).reshape(values.shape)
+        return float_to_bits(values) ^ float_to_bits(corrupted)
+
+    def expected_flips(self, n_elements: int) -> float:
+        return n_elements * _BITS_PER_CODE * self.p
+
+    def __repr__(self) -> str:
+        return f"QuantizedBitFlipModel(p={self.p}, target={self.target!r})"

@@ -1,0 +1,69 @@
+"""Symmetric per-tensor int8 quantisation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["quantize_tensor", "dequantize_tensor", "quantize_model", "QuantizationReport"]
+
+_INT8_MAX = 127
+
+
+def quantize_tensor(values: np.ndarray) -> tuple[np.ndarray, float]:
+    """Symmetric int8 quantisation: returns (codes, scale).
+
+    ``codes = round(values / scale)`` clipped to [−127, 127], with
+    ``scale = max|values| / 127``. An all-zero tensor gets scale 1.0.
+    """
+    values = np.asarray(values, dtype=np.float32)
+    peak = float(np.abs(values).max()) if values.size else 0.0
+    scale = peak / _INT8_MAX if peak > 0 else 1.0
+    codes = np.clip(np.round(values / scale), -_INT8_MAX, _INT8_MAX).astype(np.int8)
+    return codes, scale
+
+
+def dequantize_tensor(codes: np.ndarray, scale: float) -> np.ndarray:
+    """Inverse of :func:`quantize_tensor` (modulo rounding)."""
+    codes = np.asarray(codes)
+    if codes.dtype != np.int8:
+        raise TypeError(f"expected int8 codes, got {codes.dtype}")
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return (codes.astype(np.float32)) * np.float32(scale)
+
+
+@dataclass(frozen=True)
+class QuantizationReport:
+    """What post-training quantisation did to a model."""
+
+    scales: dict[str, float]
+    #: max |w − dequant(quant(w))| per parameter
+    max_roundtrip_error: dict[str, float]
+
+    @property
+    def worst_roundtrip_error(self) -> float:
+        return max(self.max_roundtrip_error.values()) if self.max_roundtrip_error else 0.0
+
+
+def quantize_model(model: Module) -> QuantizationReport:
+    """Replace every parameter in-place with its int8-roundtripped value.
+
+    After this call the model *is* the deployed int8 network (executed in
+    float arithmetic with exactly representable values, the standard
+    simulation of integer accelerators). The returned report carries the
+    per-tensor scales that :class:`repro.quant.QuantizedBitFlipModel`
+    needs.
+    """
+    scales: dict[str, float] = {}
+    errors: dict[str, float] = {}
+    for name, param in model.named_parameters():
+        codes, scale = quantize_tensor(param.data)
+        restored = dequantize_tensor(codes, scale).reshape(param.data.shape)
+        errors[name] = float(np.abs(param.data - restored).max())
+        param.data[...] = restored
+        scales[name] = scale
+    return QuantizationReport(scales=scales, max_roundtrip_error=errors)

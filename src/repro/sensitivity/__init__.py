@@ -1,0 +1,36 @@
+"""Gradient-based vulnerability analysis.
+
+The paper's generality argument rests on differentiability: "one can
+calculate the gradient of the output of a program over its input". This
+package exploits the same property *analytically*: a first-order Taylor
+expansion of the loss predicts the impact of flipping bit ``b`` of
+parameter ``w`` as ``|∂L/∂w · (flip(w, b) − w)|`` — for free, from one
+backward pass, for every one of the millions of fault sites a campaign
+would otherwise have to sample.
+
+Components:
+
+* :func:`~repro.sensitivity.gradients.parameter_gradients` — one backward
+  pass over the evaluation batch, gradients per named parameter;
+* :class:`~repro.sensitivity.taylor.TaylorSensitivity` — predicted impact
+  per (parameter, element, bit lane); rankings, per-layer and per-lane
+  aggregation, and validation against measured injection outcomes;
+* :func:`~repro.sensitivity.search.critical_bit_search` — gradient-guided
+  search for minimal bit sets that flip predictions, versus random search.
+
+Experiment A4 (``benchmarks/bench_sensitivity.py``) validates that the
+Taylor ranking agrees with exhaustive ground truth.
+"""
+
+from repro.sensitivity.gradients import parameter_gradients
+from repro.sensitivity.taylor import TaylorSensitivity, BitImpact
+from repro.sensitivity.search import critical_bit_search, random_bit_search, SearchResult
+
+__all__ = [
+    "parameter_gradients",
+    "TaylorSensitivity",
+    "BitImpact",
+    "critical_bit_search",
+    "random_bit_search",
+    "SearchResult",
+]

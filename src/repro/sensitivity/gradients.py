@@ -1,0 +1,53 @@
+"""Per-parameter loss gradients over an evaluation batch."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+from repro.train.losses import CrossEntropyLoss
+
+__all__ = ["parameter_gradients"]
+
+
+def parameter_gradients(
+    model: Module,
+    inputs: np.ndarray,
+    labels: np.ndarray,
+    loss_fn: Callable | None = None,
+) -> dict[str, np.ndarray]:
+    """Gradients of the batch loss w.r.t. every parameter, by dotted name.
+
+    Runs one forward/backward in eval mode (batch-norm uses running stats,
+    so the gradients describe the *deployed* network, not a training-mode
+    variant). The model's parameter values and accumulated gradients are
+    left untouched.
+    """
+    inputs = np.asarray(inputs, dtype=np.float32)
+    labels = np.asarray(labels, dtype=np.int64)
+    if len(inputs) != len(labels):
+        raise ValueError(f"inputs ({len(inputs)}) and labels ({len(labels)}) misaligned")
+    if len(labels) == 0:
+        raise ValueError("evaluation batch is empty")
+    loss_fn = loss_fn or CrossEntropyLoss()
+
+    was_training = model.training
+    saved_grads = {name: param.grad for name, param in model.named_parameters()}
+    model.eval()
+    try:
+        model.zero_grad()
+        logits = model(Tensor(inputs))
+        loss = loss_fn(logits, labels)
+        loss.backward()
+        gradients = {
+            name: (param.grad.copy() if param.grad is not None else np.zeros_like(param.data))
+            for name, param in model.named_parameters()
+        }
+    finally:
+        for name, param in model.named_parameters():
+            param.grad = saved_grads[name]
+        model.train(was_training)
+    return gradients

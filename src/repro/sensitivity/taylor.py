@@ -1,0 +1,154 @@
+"""First-order Taylor prediction of bit-flip impact.
+
+For parameter value ``w`` with loss gradient ``g``, flipping bit ``b``
+changes the value by ``Δ(w, b) = flip(w, b) − w`` and, to first order, the
+loss by ``g · Δ``. The *predicted impact* ``|g · Δ|`` ranks every
+(parameter, element, bit) fault site without a single injection run.
+
+Sites whose flip produces a non-finite value (high-exponent flips of
+typical weights) get infinite predicted impact — the Taylor expansion does
+not apply, but such flips are catastrophic a fortiori, so they rank first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bits.fields import bit_field
+from repro.bits.float32 import BITS_PER_FLOAT, bits_to_float, float_to_bits
+from repro.nn.module import Module
+from repro.sensitivity.gradients import parameter_gradients
+
+__all__ = ["BitImpact", "TaylorSensitivity"]
+
+
+@dataclass(frozen=True)
+class BitImpact:
+    """Predicted impact of one fault site."""
+
+    target: str
+    element_index: int
+    bit: int
+    predicted_impact: float
+
+    @property
+    def field(self) -> str:
+        return bit_field(self.bit)
+
+
+def _flip_deltas(values: np.ndarray) -> np.ndarray:
+    """Δ(w, b) for every element and bit lane: shape (n, 32).
+
+    Non-finite flips produce ±inf deltas (handled downstream as
+    rank-first catastrophic sites).
+    """
+    flat = np.asarray(values, dtype=np.float32).reshape(-1)
+    bits = float_to_bits(flat)
+    lanes = np.uint32(1) << np.arange(BITS_PER_FLOAT, dtype=np.uint32)
+    flipped_bits = bits[:, None] ^ lanes[None, :]
+    flipped = bits_to_float(flipped_bits.reshape(-1)).reshape(flat.size, BITS_PER_FLOAT)
+    with np.errstate(invalid="ignore"):
+        return flipped.astype(np.float64) - flat.astype(np.float64)[:, None]
+
+
+class TaylorSensitivity:
+    """Gradient-based sensitivity map over a model's fault space.
+
+    Parameters
+    ----------
+    model / inputs / labels:
+        The deployed network and the evaluation batch the campaign would
+        score; one backward pass is run at construction.
+    targets:
+        ``(name, parameter)`` pairs to analyse, e.g. from
+        :func:`repro.faults.resolve_parameter_targets`.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        targets: list,
+    ) -> None:
+        if not targets:
+            raise ValueError("TaylorSensitivity requires at least one target")
+        self.targets = list(targets)
+        gradients = parameter_gradients(model, inputs, labels)
+        #: per target: (n_elements, 32) matrix of |g·Δ| predicted impacts
+        self.impacts: dict[str, np.ndarray] = {}
+        for name, param in self.targets:
+            grad = gradients[name].reshape(-1).astype(np.float64)
+            deltas = _flip_deltas(param.data)
+            with np.errstate(invalid="ignore"):
+                impact = np.abs(grad[:, None] * deltas)
+            # g == 0 at a non-finite delta gives nan; such sites are still
+            # catastrophic (the value itself explodes) — rank them first.
+            impact[~np.isfinite(deltas)] = np.inf
+            self.impacts[name] = impact
+
+    # ------------------------------------------------------------------ #
+    # rankings and aggregations
+    # ------------------------------------------------------------------ #
+
+    def top_sites(self, k: int) -> list[BitImpact]:
+        """The ``k`` fault sites with the largest predicted impact.
+
+        Infinite (non-finite-flip) sites come first, tie-broken by the
+        magnitude of ``|g·w|`` (gradient times the exploding value's seed).
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        entries: list[BitImpact] = []
+        for name, impact in self.impacts.items():
+            flat = impact.reshape(-1)
+            count = min(k, flat.size)
+            idx = np.argpartition(-np.nan_to_num(flat, posinf=np.finfo(np.float64).max), count - 1)[:count]
+            for flat_index in idx:
+                entries.append(
+                    BitImpact(
+                        target=name,
+                        element_index=int(flat_index // BITS_PER_FLOAT),
+                        bit=int(flat_index % BITS_PER_FLOAT),
+                        predicted_impact=float(flat[flat_index]),
+                    )
+                )
+        entries.sort(key=lambda e: -e.predicted_impact)
+        return entries[:k]
+
+    def site_impact(self, target: str, element_index: int, bit: int) -> float:
+        """Predicted impact of one specific site."""
+        return float(self.impacts[target][element_index, bit])
+
+    def lane_profile(self) -> dict[int, float]:
+        """Mean *finite* predicted impact per bit lane, across all targets.
+
+        The analytic counterpart of the A1 exhaustive sweep: impact grows
+        with bit significance inside each IEEE-754 field.
+        """
+        totals = np.zeros(BITS_PER_FLOAT)
+        counts = np.zeros(BITS_PER_FLOAT)
+        for impact in self.impacts.values():
+            finite = np.isfinite(impact)
+            totals += np.where(finite, impact, 0.0).sum(axis=0)
+            counts += finite.sum(axis=0)
+        return {b: float(totals[b] / counts[b]) if counts[b] else float("inf") for b in range(BITS_PER_FLOAT)}
+
+    def layer_profile(self) -> dict[str, float]:
+        """Total predicted impact per target (finite part), plus the count
+        of catastrophic (non-finite) sites folded in as a separate scale.
+
+        Used by :mod:`repro.protect` to allocate protection across layers.
+        """
+        profile = {}
+        for name, impact in self.impacts.items():
+            finite = impact[np.isfinite(impact)]
+            catastrophic = int((~np.isfinite(impact)).sum())
+            profile[name] = float(finite.sum()) + catastrophic  # inf sites ≈ unit mass each
+        return profile
+
+    def catastrophic_site_counts(self) -> dict[str, int]:
+        """Number of non-finite-flip sites per target."""
+        return {name: int((~np.isfinite(impact)).sum()) for name, impact in self.impacts.items()}

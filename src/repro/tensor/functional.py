@@ -1,0 +1,193 @@
+"""Convolution, pooling, padding, and softmax primitives.
+
+Convolution is implemented with the im2col transformation: each receptive
+field is flattened into a row, so the convolution becomes one large matrix
+multiply. That keeps both the forward pass and the gradient fully
+vectorised, which matters because BDLFI campaigns run thousands of forward
+passes per probability point.
+
+Layout convention: images are NCHW (batch, channels, height, width) —
+the layout the paper's ResNet-18 uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = [
+    "pad2d",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "softmax",
+    "log_softmax",
+    "im2col_indices",
+]
+
+
+def im2col_indices(
+    x_shape: tuple[int, int, int, int], kh: int, kw: int, stride: int, padding: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Compute the gather indices that turn an NCHW image into patch rows.
+
+    Returns ``(k, i, j, out_h, out_w)`` where ``k, i, j`` index channel, row
+    and column respectively, each of shape ``(C*kh*kw, out_h*out_w)``.
+    """
+    _, channels, height, width = x_shape
+    out_h = (height + 2 * padding - kh) // stride + 1
+    out_w = (width + 2 * padding - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel ({kh}x{kw}, stride={stride}, padding={padding}) larger than "
+            f"padded input ({height}x{width})"
+        )
+
+    i0 = np.repeat(np.arange(kh), kw)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kw), kh * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
+    return k, i, j, out_h, out_w
+
+
+def pad2d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the last two (spatial) axes of an NCHW tensor."""
+    if padding == 0:
+        return x
+    pad_width = ((0, 0), (0, 0), (padding, padding), (padding, padding))
+    out_data = np.pad(x.data, pad_width)
+
+    def _backward(grad: np.ndarray) -> None:
+        x._accumulate(grad[:, :, padding:-padding, padding:-padding])
+
+    return Tensor._make(out_data, (x,), _backward, "pad2d")
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution (cross-correlation) over an NCHW input.
+
+    ``weight`` has shape ``(out_channels, in_channels, kh, kw)`` and ``bias``
+    (optional) shape ``(out_channels,)``.
+    """
+    batch, in_c, _, _ = x.shape
+    out_c, w_in_c, kh, kw = weight.shape
+    if in_c != w_in_c:
+        raise ValueError(f"input has {in_c} channels but weight expects {w_in_c}")
+
+    x_padded = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))) if padding else x.data
+    k, i, j, out_h, out_w = im2col_indices(x.shape, kh, kw, stride, padding)
+
+    # cols: (batch, C*kh*kw, out_h*out_w)
+    cols = x_padded[:, k, i, j]
+    w_mat = weight.data.reshape(out_c, -1)  # (out_c, C*kh*kw)
+    out = np.einsum("of,bfp->bop", w_mat, cols, optimize=True)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1)
+    out_data = out.reshape(batch, out_c, out_h, out_w)
+
+    padded_shape = x_padded.shape
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def _backward(grad: np.ndarray) -> None:
+        grad_mat = grad.reshape(batch, out_c, -1)  # (batch, out_c, P)
+        if weight.requires_grad:
+            gw = np.einsum("bop,bfp->of", grad_mat, cols, optimize=True)
+            weight._accumulate(gw.reshape(weight.shape).astype(weight.dtype))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad_mat.sum(axis=(0, 2)).astype(bias.dtype))
+        if x.requires_grad:
+            gcols = np.einsum("of,bop->bfp", w_mat, grad_mat, optimize=True)
+            gx_padded = np.zeros(padded_shape, dtype=x.dtype)
+            # Scatter-add patch gradients back into the padded image.
+            np.add.at(gx_padded, (slice(None), k, i, j), gcols)
+            if padding:
+                gx = gx_padded[:, :, padding:-padding, padding:-padding]
+            else:
+                gx = gx_padded
+            x._accumulate(gx)
+
+    return Tensor._make(out_data, parents, _backward, "conv2d")
+
+
+def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows of an NCHW tensor."""
+    stride = stride or kernel_size
+    batch, channels, height, width = x.shape
+    k, i, j, out_h, out_w = im2col_indices((batch, 1, height, width), kernel_size, kernel_size, stride, 0)
+
+    # View each channel independently: (batch*channels, 1, H, W)
+    flat = x.data.reshape(batch * channels, 1, height, width)
+    cols = flat[:, k, i, j]  # (B*C, k*k, P)
+    arg = cols.argmax(axis=1)  # (B*C, P)
+    out = np.take_along_axis(cols, arg[:, None, :], axis=1)[:, 0, :]
+    out_data = out.reshape(batch, channels, out_h, out_w)
+
+    def _backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(batch * channels, -1)  # (B*C, P)
+        gcols = np.zeros_like(cols)
+        np.put_along_axis(gcols, arg[:, None, :], grad_flat[:, None, :], axis=1)
+        gx = np.zeros((batch * channels, 1, height, width), dtype=x.dtype)
+        np.add.at(gx, (slice(None), k, i, j), gcols)
+        x._accumulate(gx.reshape(x.shape))
+
+    return Tensor._make(out_data, (x,), _backward, "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
+    """Average pooling over windows of an NCHW tensor."""
+    stride = stride or kernel_size
+    batch, channels, height, width = x.shape
+    k, i, j, out_h, out_w = im2col_indices((batch, 1, height, width), kernel_size, kernel_size, stride, 0)
+
+    flat = x.data.reshape(batch * channels, 1, height, width)
+    cols = flat[:, k, i, j]
+    out = cols.mean(axis=1)
+    out_data = out.reshape(batch, channels, out_h, out_w)
+    window = kernel_size * kernel_size
+
+    def _backward(grad: np.ndarray) -> None:
+        grad_flat = grad.reshape(batch * channels, 1, -1) / window
+        gcols = np.broadcast_to(grad_flat, cols.shape)
+        gx = np.zeros((batch * channels, 1, height, width), dtype=x.dtype)
+        np.add.at(gx, (slice(None), k, i, j), gcols)
+        x._accumulate(gx.reshape(x.shape))
+
+    return Tensor._make(out_data, (x,), _backward, "avg_pool2d")
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over all spatial positions: NCHW → NC."""
+    return x.mean(axis=(2, 3))
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    out_data = e / e.sum(axis=axis, keepdims=True)
+
+    def _backward(grad: np.ndarray) -> None:
+        # dL/dx = s * (g - sum(g * s))
+        dot = (grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate((out_data * (grad - dot)).astype(x.dtype))
+
+    return Tensor._make(out_data, (x,), _backward, "softmax")
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    soft = np.exp(out_data)
+
+    def _backward(grad: np.ndarray) -> None:
+        x._accumulate((grad - soft * grad.sum(axis=axis, keepdims=True)).astype(x.dtype))
+
+    return Tensor._make(out_data, (x,), _backward, "log_softmax")

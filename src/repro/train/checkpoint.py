@@ -1,0 +1,49 @@
+"""Checkpointing golden-network weights.
+
+Checkpoints are plain ``.npz`` archives of the flat ``state_dict`` plus a
+``__meta__/…`` namespace for scalars (accuracy, seed, epoch). Campaigns
+load the golden weights with :func:`load_checkpoint` before constructing
+the Bayesian fault model.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_META_PREFIX = "__meta__/"
+
+
+def save_checkpoint(model: Module, path: str, **metadata: float | int | str) -> None:
+    """Write the model ``state_dict`` and scalar metadata to ``path`` (npz)."""
+    payload: dict[str, np.ndarray] = dict(model.state_dict())
+    for key, value in metadata.items():
+        if "/" in key:
+            raise ValueError(f"metadata key may not contain '/': {key!r}")
+        payload[_META_PREFIX + key] = np.asarray(value)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_checkpoint(model: Module, path: str) -> dict[str, object]:
+    """Load weights saved by :func:`save_checkpoint` into ``model``.
+
+    Returns the metadata dict (scalars converted back to Python types).
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        state: dict[str, np.ndarray] = {}
+        metadata: dict[str, object] = {}
+        for key in archive.files:
+            if key.startswith(_META_PREFIX):
+                value = archive[key]
+                metadata[key[len(_META_PREFIX):]] = value.item() if value.ndim == 0 else value
+            else:
+                state[key] = archive[key]
+    model.load_state_dict(state)
+    return metadata

@@ -1,0 +1,42 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor.tensor import Tensor
+
+__all__ = ["CrossEntropyLoss", "MSELoss"]
+
+
+class CrossEntropyLoss:
+    """Softmax cross-entropy on integer class labels.
+
+    Expects raw logits of shape ``(batch, classes)`` and labels of shape
+    ``(batch,)``. Combines log-softmax and NLL in one numerically stable op.
+    """
+
+    def __call__(self, logits: Tensor, labels: np.ndarray) -> Tensor:
+        labels = np.asarray(labels)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D (batch, classes), got shape {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(f"labels shape {labels.shape} does not match batch {logits.shape[0]}")
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise ValueError("labels out of range for the given number of classes")
+        log_probs = F.log_softmax(logits, axis=1)
+        picked = log_probs[np.arange(len(labels)), labels]
+        return -picked.mean()
+
+
+class MSELoss:
+    """Mean squared error between two tensors of identical shape."""
+
+    def __call__(self, prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+        if not isinstance(target, Tensor):
+            target = Tensor(np.asarray(target, dtype=np.float32))
+        if prediction.shape != target.shape:
+            raise ValueError(f"shape mismatch: {prediction.shape} vs {target.shape}")
+        diff = prediction - target
+        return (diff * diff).mean()

@@ -1,0 +1,51 @@
+"""Classification metrics.
+
+``classification_error`` is the paper's headline metric: the y-axis of
+Figs. 2–4 is "Classification Error (%)".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+__all__ = ["accuracy", "classification_error", "confusion_matrix", "top_k_accuracy"]
+
+
+def _logits_array(logits: Tensor | np.ndarray) -> np.ndarray:
+    return logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+
+
+def accuracy(logits: Tensor | np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of samples whose argmax prediction matches the label."""
+    arr = _logits_array(logits)
+    labels = np.asarray(labels)
+    if arr.shape[0] != labels.shape[0]:
+        raise ValueError(f"batch mismatch: {arr.shape[0]} logits vs {labels.shape[0]} labels")
+    return float((arr.argmax(axis=1) == labels).mean())
+
+
+def classification_error(logits: Tensor | np.ndarray, labels: np.ndarray) -> float:
+    """Misclassification rate in [0, 1] (multiply by 100 for the paper's %)."""
+    return 1.0 - accuracy(logits, labels)
+
+
+def top_k_accuracy(logits: Tensor | np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Fraction of samples whose label is among the top-k logits."""
+    arr = _logits_array(logits)
+    labels = np.asarray(labels)
+    if k < 1 or k > arr.shape[1]:
+        raise ValueError(f"k must be in [1, {arr.shape[1]}], got {k}")
+    top = np.argpartition(-arr, k - 1, axis=1)[:, :k]
+    return float((top == labels[:, None]).any(axis=1).mean())
+
+
+def confusion_matrix(logits: Tensor | np.ndarray, labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Counts[i, j] = samples of true class i predicted as class j."""
+    arr = _logits_array(logits)
+    preds = arr.argmax(axis=1)
+    labels = np.asarray(labels)
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, preds), 1)
+    return matrix

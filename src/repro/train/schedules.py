@@ -1,0 +1,64 @@
+"""Learning-rate schedules.
+
+A schedule wraps an optimizer and rewrites ``optimizer.lr`` when
+``step(epoch)`` is called.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.train.optim import Optimizer
+
+__all__ = ["ConstantLR", "StepLR", "CosineAnnealingLR"]
+
+
+class _Schedule:
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+
+    def lr_at(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def step(self, epoch: int) -> float:
+        """Set (and return) the learning rate for ``epoch``."""
+        lr = self.lr_at(epoch)
+        self.optimizer.lr = lr
+        return lr
+
+
+class ConstantLR(_Schedule):
+    """Keep the base learning rate forever."""
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepLR(_Schedule):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError(f"step_size must be positive, got {step_size}")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def lr_at(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(_Schedule):
+    """Cosine decay from base LR to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError(f"t_max must be positive, got {t_max}")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def lr_at(self, epoch: int) -> float:
+        progress = min(epoch, self.t_max) / self.t_max
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))

@@ -1,0 +1,18 @@
+"""Shared utilities: seeded RNG management, logging, and timing.
+
+Every stochastic component in :mod:`repro` takes an explicit
+:class:`numpy.random.Generator` so that campaigns are exactly reproducible.
+This package centralises how those generators are created and split.
+"""
+
+from repro.utils.rng import RngFactory, as_generator, spawn_generators
+from repro.utils.logging import get_logger
+from repro.utils.timing import Timer
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn_generators",
+    "get_logger",
+    "Timer",
+]

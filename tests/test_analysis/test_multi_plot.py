@@ -1,0 +1,58 @@
+"""Multi-series ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import multi_line_plot
+
+
+class TestMultiLinePlot:
+    def test_markers_and_legend(self):
+        x = np.linspace(1, 10, 5)
+        text = multi_line_plot(x, {"alpha": x, "beta": x**2}, title="T")
+        assert "o" in text and "*" in text
+        assert "'o' = alpha" in text and "'*' = beta" in text
+        assert "T" in text
+
+    def test_log_axis_labels(self):
+        x = np.logspace(-4, -1, 4)
+        text = multi_line_plot(x, {"s": np.arange(4.0)}, log_x=True)
+        assert "1.0e-04" in text
+
+    def test_series_validation(self):
+        x = np.arange(4.0)
+        with pytest.raises(ValueError):
+            multi_line_plot(x, {})
+        with pytest.raises(ValueError):
+            multi_line_plot(x, {"bad": np.arange(3.0)})
+        too_many = {f"s{i}": x for i in range(7)}
+        with pytest.raises(ValueError):
+            multi_line_plot(x, too_many)
+
+    def test_constant_series(self):
+        x = np.arange(5.0) + 1
+        text = multi_line_plot(x, {"flat": np.full(5, 2.0), "rise": x})
+        assert "flat" in text
+
+
+class TestCampaignPersistence:
+    def test_campaign_save_roundtrip(self, trained_mlp, moons_eval, tmp_path):
+        import json
+
+        from repro.core import BayesianFaultInjector
+        from repro.faults import TargetSpec
+
+        eval_x, eval_y = moons_eval
+        injector = BayesianFaultInjector(
+            trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+        )
+        campaign = injector.mcmc_campaign(1e-3, chains=2, steps=20)
+        path = str(tmp_path / "campaign.json")
+        campaign.save(path)
+        with open(path) as handle:
+            record = json.load(handle)
+        assert record["summary"]["p"] == 1e-3
+        assert len(record["chains"]) == 2
+        assert len(record["chains"][0]) == 20
+        assert "completeness" in record
+        assert record["summary"]["mean_error_pct"] == pytest.approx(100 * campaign.mean_error)

@@ -1,0 +1,113 @@
+"""ASCII plotting and table/report output."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ResultWriter,
+    format_series,
+    format_table,
+    heatmap,
+    histogram_plot,
+    line_plot,
+    scatter_plot,
+)
+
+
+class TestLinePlot:
+    def test_contains_markers_and_axis(self):
+        text = line_plot(np.array([1, 2, 3.0]), np.array([1, 4, 9.0]), title="T")
+        assert "o" in text and "T" in text and "+" in text
+
+    def test_log_x_labels(self):
+        text = line_plot(np.logspace(-5, -1, 5), np.arange(5.0), log_x=True)
+        assert "1.0e-05" in text
+
+    def test_reference_line_drawn(self):
+        text = line_plot(np.arange(5.0) + 1, np.arange(5.0), reference=2.0)
+        assert "reference: 2.000" in text
+        assert "-" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_plot(np.arange(3.0), np.arange(4.0))
+        with pytest.raises(ValueError):
+            line_plot(np.array([]), np.array([]))
+
+    def test_constant_series_does_not_crash(self):
+        text = line_plot(np.arange(4.0) + 1, np.full(4, 5.0))
+        assert "o" in text
+
+
+class TestOtherPlots:
+    def test_scatter(self):
+        text = scatter_plot(np.arange(10.0), np.arange(10.0) ** 2, marker="*")
+        assert "*" in text
+
+    def test_histogram(self):
+        counts, edges = np.histogram(np.random.default_rng(0).random(100), bins=5)
+        text = histogram_plot(counts, edges)
+        assert "#" in text
+        with pytest.raises(ValueError):
+            histogram_plot(counts, edges[:-1])
+
+    def test_heatmap_ramp(self):
+        grid = np.linspace(0, 1, 16).reshape(4, 4)
+        text = heatmap(grid, title="H", legend="prob")
+        assert "@" in text  # maximum ramp char
+        assert "scale:" in text and "prob" in text
+
+    def test_heatmap_handles_nonfinite(self):
+        grid = np.array([[0.0, np.inf], [1.0, np.nan]])
+        # inf is non-finite -> '?'; must not crash
+        text = heatmap(grid)
+        assert "?" in text
+
+    def test_heatmap_validation(self):
+        with pytest.raises(ValueError):
+            heatmap(np.zeros(3))
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_column_selection(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_empty_table(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 0.000012345}])
+        assert "e-05" in text
+
+    def test_format_series(self):
+        text = format_series("fig2", np.array([1e-5, 1e-4]), np.array([0.1, 0.2]), "p", "err")
+        assert "fig2" in text and "p" in text
+
+
+class TestResultWriter:
+    def test_roundtrip(self, tmp_path):
+        writer = ResultWriter(str(tmp_path / "results"))
+        path = writer.write("E1", {"series": np.array([1.0, 2.0]), "n": np.int64(5), "flag": np.bool_(True)})
+        data = writer.read("E1")
+        assert data["experiment"] == "E1"
+        assert data["series"] == [1.0, 2.0]
+        assert data["n"] == 5
+        assert data["flag"] is True
+        with open(path) as handle:
+            assert json.load(handle)["experiment"] == "E1"
+
+    def test_unserialisable_rejected(self, tmp_path):
+        writer = ResultWriter(str(tmp_path))
+        with pytest.raises(TypeError):
+            writer.write("bad", {"obj": object()})

@@ -1,0 +1,95 @@
+"""Traditional random single-bit-flip injector."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import InjectionOutcome, RandomFaultInjector
+from repro.faults import TargetSpec
+
+
+@pytest.fixture()
+def injector(trained_mlp, moons_eval):
+    eval_x, eval_y = moons_eval
+    return RandomFaultInjector(
+        trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+    )
+
+
+class TestInjectOnce:
+    def test_record_fields(self, injector, rng):
+        record = injector.inject_once(rng)
+        assert 0 <= record.bit < 32
+        assert record.outcome in InjectionOutcome
+        assert 0.0 <= record.mismatch_fraction <= 1.0
+
+    def test_masked_iff_no_mismatch(self, injector, rng):
+        for _ in range(30):
+            record = injector.inject_once(rng)
+            if record.outcome is InjectionOutcome.MASKED:
+                assert record.mismatch_fraction == 0.0
+            elif record.outcome is InjectionOutcome.SDC:
+                assert record.mismatch_fraction > 0.0
+
+    def test_weights_restored_after_each_injection(self, injector, rng):
+        before = {n: p.data.copy() for n, p in injector.targets}
+        for _ in range(10):
+            injector.inject_once(rng)
+        for name, param in injector.targets:
+            assert np.array_equal(before[name], param.data)
+
+
+class TestCampaign:
+    def test_rates_partition(self, injector):
+        campaign = injector.run(200)
+        total = campaign.sdc_rate + campaign.due_rate + campaign.masked_rate
+        assert total == pytest.approx(1.0)
+        assert len(campaign) == 200
+
+    def test_most_flips_masked(self, injector):
+        # Known FI result: the majority of single-bit flips are benign
+        # (23/32 lanes are mantissa bits).
+        campaign = injector.run(200)
+        assert campaign.masked_rate > 0.5
+
+    def test_sdc_interval_brackets_rate(self, injector):
+        campaign = injector.run(150)
+        lo, hi = campaign.sdc_interval()
+        assert lo <= campaign.sdc_rate <= hi
+
+    def test_by_bit_field_exponent_worst(self, injector):
+        campaign = injector.run(400)
+        rates = campaign.by_bit_field()
+        assert rates["exponent"] > rates["mantissa"]
+
+    def test_reproducible(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        make = lambda: RandomFaultInjector(trained_mlp, eval_x, eval_y, seed=5)
+        a = make().run(50)
+        b = make().run(50)
+        assert [r.outcome for r in a.records] == [r.outcome for r in b.records]
+
+    def test_summary_keys(self, injector):
+        summary = injector.run(20).summary()
+        assert {"sdc_rate", "due_rate", "masked_rate", "injections"} <= set(summary)
+
+    def test_validation(self, injector):
+        with pytest.raises(ValueError):
+            injector.run(0)
+
+    def test_empty_campaign_rates_nan(self):
+        from repro.baselines import RandomFICampaign
+
+        campaign = RandomFICampaign()
+        assert np.isnan(campaign.sdc_rate)
+        assert np.isnan(campaign.mean_mismatch)
+
+
+class TestPerLayer:
+    def test_one_campaign_per_layer(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        injector = RandomFaultInjector(
+            trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+        )
+        campaigns = injector.run_per_layer(injections_per_layer=30)
+        assert set(campaigns) == {"layers.0", "layers.2"}
+        assert all(len(c) == 30 for c in campaigns.values())

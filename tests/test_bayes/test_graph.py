@@ -1,0 +1,87 @@
+"""Bayesian-network graph: construction, sampling, log-joint."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bayes import BayesianNetwork, Bernoulli, Categorical, Normal
+
+
+def _coin_network():
+    """b ~ Bern(0.5); y = 2b; z ~ Normal(y, 1)."""
+    net = BayesianNetwork()
+    net.random_variable("b", Bernoulli(0.5))
+    net.deterministic("y", lambda pv: pv["b"] * 2.0, ("b",))
+    net.random_variable("z", lambda pv: Normal(float(pv["y"]), 1.0), ("y",))
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self):
+        net = BayesianNetwork()
+        net.random_variable("a", Bernoulli(0.5))
+        with pytest.raises(ValueError):
+            net.random_variable("a", Bernoulli(0.1))
+
+    def test_unknown_parent_rejected(self):
+        net = BayesianNetwork()
+        with pytest.raises(ValueError):
+            net.deterministic("y", lambda pv: 0, ("ghost",))
+
+    def test_len_and_contains(self):
+        net = _coin_network()
+        assert len(net) == 3
+        assert "b" in net and "q" not in net
+
+    def test_random_variables_listing(self):
+        assert _coin_network().random_variables() == ["b", "z"]
+
+    def test_topological_order_parents_first(self):
+        order = _coin_network().topological_order()
+        assert order.index("b") < order.index("y") < order.index("z")
+
+
+class TestSampling:
+    def test_deterministic_node_computed(self, rng):
+        trace = _coin_network().sample(rng)
+        assert trace["y"] == trace["b"] * 2.0
+
+    def test_clamping_given_values(self, rng):
+        trace = _coin_network().sample(rng, given={"b": 1})
+        assert trace["b"] == 1
+        assert trace["y"] == 2.0
+
+    def test_sample_distribution_of_child(self, rng):
+        net = _coin_network()
+        zs = [net.sample(rng, given={"b": 1})["z"] for _ in range(3000)]
+        assert abs(np.mean(zs) - 2.0) < 0.1
+
+
+class TestLogProb:
+    def test_joint_of_coin_network(self, rng):
+        net = _coin_network()
+        trace = {"b": 1, "z": 2.0}
+        expected = math.log(0.5) + float(Normal(2.0, 1.0).log_prob(2.0))
+        assert net.log_prob(trace) == pytest.approx(expected)
+
+    def test_deterministic_recomputed_when_missing(self):
+        net = _coin_network()
+        # 'y' omitted: log_prob must recompute it to evaluate z's density.
+        value = net.log_prob({"b": 0, "z": 0.0})
+        expected = math.log(0.5) + float(Normal(0.0, 1.0).log_prob(0.0))
+        assert value == pytest.approx(expected)
+
+    def test_missing_random_variable_raises(self):
+        with pytest.raises(KeyError):
+            _coin_network().log_prob({"b": 1})
+
+    def test_categorical_chain(self, rng):
+        net = BayesianNetwork()
+        net.random_variable("c", Categorical(np.array([0.2, 0.8])))
+        net.deterministic("d", lambda pv: pv["c"] + 10, ("c",))
+        trace = net.sample(rng)
+        assert trace["d"] == trace["c"] + 10
+        assert net.log_prob(trace) == pytest.approx(
+            math.log([0.2, 0.8][trace["c"]])
+        )

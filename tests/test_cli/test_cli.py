@@ -1,0 +1,137 @@
+"""Command-line interface."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import WORKBENCHES, build_parser, main
+
+
+@pytest.fixture(scope="module")
+def golden_checkpoint(tmp_path_factory):
+    """A quickly trained mlp-moons checkpoint shared by the CLI tests."""
+    path = str(tmp_path_factory.mktemp("cli") / "golden.npz")
+    code = main(
+        ["train", "mlp-moons", "--out", path, "--epochs", "25", "--train-size", "500"]
+    )
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_args(self):
+        args = build_parser().parse_args(["train", "mlp-moons", "--out", "x.npz"])
+        assert args.workbench == "mlp-moons"
+        assert args.out == "x.npz"
+
+    def test_unknown_workbench_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "vgg", "--out", "x.npz"])
+
+    def test_all_workbenches_buildable(self):
+        for name, workbench in WORKBENCHES.items():
+            model = workbench.build_model()
+            assert model.num_parameters() > 0, name
+
+
+class TestTrain(object):
+    def test_writes_checkpoint(self, golden_checkpoint):
+        assert os.path.exists(golden_checkpoint)
+        archive = np.load(golden_checkpoint)
+        assert "__meta__/accuracy" in archive.files
+        assert float(archive["__meta__/accuracy"]) > 0.9
+
+
+class TestCampaign:
+    def test_forward_campaign_runs(self, golden_checkpoint, capsys):
+        code = main(
+            [
+                "campaign", golden_checkpoint, "--workbench", "mlp-moons",
+                "--p", "1e-3", "--samples", "60",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "golden error" in out
+        assert "mean_error_pct" in out
+
+    def test_mcmc_campaign_reports_completeness(self, golden_checkpoint, capsys):
+        code = main(
+            [
+                "campaign", golden_checkpoint, "--workbench", "mlp-moons",
+                "--p", "1e-2", "--samples", "80", "--method", "mcmc",
+            ]
+        )
+        assert code == 0
+        assert "R-hat" in capsys.readouterr().out
+
+    def test_tempering_campaign(self, golden_checkpoint, capsys):
+        code = main(
+            [
+                "campaign", golden_checkpoint, "--workbench", "mlp-moons",
+                "--p", "1e-2", "--samples", "40", "--method", "tempering",
+            ]
+        )
+        assert code == 0
+        assert "tempering" in capsys.readouterr().out
+
+
+class TestSweepLayerwiseBoundary:
+    def test_sweep_prints_table_and_knee(self, golden_checkpoint, capsys):
+        code = main(
+            [
+                "sweep", golden_checkpoint, "--workbench", "mlp-moons",
+                "--points", "6", "--samples", "40",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "error_pct" in out
+        assert "knee" in out
+
+    def test_layerwise(self, golden_checkpoint, capsys):
+        code = main(
+            [
+                "layerwise", golden_checkpoint, "--workbench", "mlp-moons",
+                "--p", "5e-3", "--samples", "30",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "layers.0" in out and "layers.2" in out
+
+    def test_boundary(self, golden_checkpoint, capsys):
+        code = main(
+            [
+                "boundary", golden_checkpoint, "--workbench", "mlp-moons",
+                "--resolution", "16", "--samples", "20",
+            ]
+        )
+        assert code == 0
+        assert "Spearman" in capsys.readouterr().out
+
+    def test_assess_writes_report(self, golden_checkpoint, capsys, tmp_path):
+        out = str(tmp_path / "report.md")
+        code = main(
+            [
+                "assess", golden_checkpoint, "--workbench", "mlp-moons",
+                "--samples", "30", "--out", out,
+            ]
+        )
+        assert code == 0
+        assert "Fault-tolerance assessment" in capsys.readouterr().out
+        with open(out) as handle:
+            assert "Outcome taxonomy" in handle.read()
+
+    def test_boundary_rejected_for_image_workbench(self, golden_checkpoint):
+        with pytest.raises(SystemExit, match="no 2-D input window"):
+            main(
+                [
+                    "boundary", golden_checkpoint, "--workbench", "mlp-images",
+                ]
+            )

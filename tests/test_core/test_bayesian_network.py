@@ -1,0 +1,94 @@
+"""Explicit DBN vs implicit campaign equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core import BayesianFaultInjector, MaskDistribution, build_fault_network
+from repro.faults import BernoulliBitFlipModel, TargetSpec, resolve_parameter_targets
+
+
+@pytest.fixture()
+def setup(trained_mlp, moons_eval):
+    eval_x, eval_y = moons_eval
+    targets = resolve_parameter_targets(trained_mlp, TargetSpec.weights_and_biases())
+    return trained_mlp, targets, eval_x, eval_y
+
+
+class TestMaskDistribution:
+    def test_sample_shape_and_dtype(self, rng):
+        dist = MaskDistribution(BernoulliBitFlipModel(0.1), (3, 4))
+        mask = dist.sample(rng)
+        assert mask.shape == (3, 4)
+        assert mask.dtype == np.uint32
+
+    def test_size_argument_rejected(self, rng):
+        with pytest.raises(ValueError):
+            MaskDistribution(BernoulliBitFlipModel(0.1), (2,)).sample(rng, size=3)
+
+    def test_log_prob_delegates(self):
+        model = BernoulliBitFlipModel(0.2)
+        dist = MaskDistribution(model, (5,))
+        mask = np.zeros(5, dtype=np.uint32)
+        assert float(dist.log_prob(mask)) == pytest.approx(model.log_prob_mask(mask))
+
+    def test_shape_mismatch_rejected(self):
+        dist = MaskDistribution(BernoulliBitFlipModel(0.2), (5,))
+        with pytest.raises(ValueError):
+            dist.log_prob(np.zeros(4, dtype=np.uint32))
+
+
+class TestBuildFaultNetwork:
+    def test_node_structure(self, setup):
+        model, targets, eval_x, eval_y = setup
+        net = build_fault_network(model, targets, BernoulliBitFlipModel(1e-3), eval_x, eval_y)
+        # One RV + one deterministic per target, plus logits and error.
+        assert len(net) == 2 * len(targets) + 2
+        assert "logits" in net and "error" in net
+        assert net.random_variables() == [f"e:{name}" for name, _ in targets]
+
+    def test_zero_p_reproduces_golden_error(self, setup, rng):
+        model, targets, eval_x, eval_y = setup
+        injector = BayesianFaultInjector(
+            model, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+        )
+        net = build_fault_network(model, targets, BernoulliBitFlipModel(0.0), eval_x, eval_y)
+        trace = net.sample(rng)
+        assert trace["error"] == pytest.approx(injector.golden_error)
+
+    def test_sampling_restores_model_weights(self, setup, rng):
+        model, targets, eval_x, eval_y = setup
+        before = {n: p.data.copy() for n, p in targets}
+        net = build_fault_network(model, targets, BernoulliBitFlipModel(0.05), eval_x, eval_y)
+        net.sample(rng)
+        for name, param in targets:
+            assert np.array_equal(before[name], param.data)
+
+    def test_explicit_and_implicit_sampling_agree(self, setup):
+        """Ancestral DBN sampling and the injector's forward campaign target
+        the same distribution: their error means must agree statistically."""
+        model, targets, eval_x, eval_y = setup
+        p = 1e-2
+        injector = BayesianFaultInjector(
+            model, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+        )
+        campaign = injector.forward_campaign(p, samples=200)
+
+        net = build_fault_network(model, targets, BernoulliBitFlipModel(p), eval_x, eval_y)
+        rng = np.random.default_rng(0)
+        dbn_errors = [net.sample(rng)["error"] for _ in range(200)]
+        assert np.mean(dbn_errors) == pytest.approx(campaign.mean_error, abs=0.05)
+
+    def test_clamped_mask_propagates(self, setup, rng):
+        model, targets, eval_x, eval_y = setup
+        net = build_fault_network(model, targets, BernoulliBitFlipModel(0.0), eval_x, eval_y)
+        # Clamp a catastrophic mask on the first target: error should move.
+        name, param = targets[0]
+        hot = np.full(param.shape, np.uint32(1) << np.uint32(30), dtype=np.uint32)
+        golden_trace = net.sample(rng)
+        clamped_trace = net.sample(rng, given={f"e:{name}": hot})
+        assert clamped_trace["error"] >= golden_trace["error"]
+
+    def test_requires_targets(self, setup):
+        model, _, eval_x, eval_y = setup
+        with pytest.raises(ValueError):
+            build_fault_network(model, [], BernoulliBitFlipModel(0.1), eval_x, eval_y)

@@ -1,0 +1,174 @@
+"""BayesianFaultInjector: campaigns and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core import BayesianFaultInjector
+from repro.faults import BernoulliBitFlipModel, FaultSurface, TargetSpec
+
+
+@pytest.fixture()
+def injector(trained_mlp, moons_eval):
+    eval_x, eval_y = moons_eval
+    return BayesianFaultInjector(
+        trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+    )
+
+
+class TestConstruction:
+    def test_golden_error_is_low_for_trained_net(self, injector):
+        assert injector.golden_error < 0.05
+
+    def test_misaligned_batch_rejected(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        with pytest.raises(ValueError):
+            BayesianFaultInjector(trained_mlp, eval_x, eval_y[:-1])
+
+    def test_empty_batch_rejected(self, trained_mlp):
+        with pytest.raises(ValueError):
+            BayesianFaultInjector(trained_mlp, np.zeros((0, 2)), np.zeros(0))
+
+    def test_spec_selecting_nothing_rejected(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        spec = TargetSpec(include_layers=("nonexistent.*",))
+        with pytest.raises(ValueError, match="selects nothing"):
+            BayesianFaultInjector(trained_mlp, eval_x, eval_y, spec=spec)
+
+
+class TestStatistic:
+    def test_empty_configuration_reproduces_golden(self, injector):
+        from repro.faults import FaultConfiguration
+
+        statistic = injector.make_statistic(BernoulliBitFlipModel(0.0), np.random.default_rng(0))
+        empty = FaultConfiguration.empty(injector.parameter_targets)
+        assert statistic(empty) == pytest.approx(injector.golden_error)
+
+    def test_statistic_restores_weights(self, injector, rng):
+        from repro.faults import FaultConfiguration
+
+        before = {n: p.data.copy() for n, p in injector.parameter_targets}
+        statistic = injector.make_statistic(BernoulliBitFlipModel(0.0), rng)
+        cfg = FaultConfiguration.sample(injector.parameter_targets, BernoulliBitFlipModel(0.1), rng)
+        statistic(cfg)
+        for name, param in injector.parameter_targets:
+            assert np.array_equal(before[name], param.data)
+
+
+class TestForwardCampaign:
+    def test_small_p_error_near_golden(self, injector):
+        campaign = injector.forward_campaign(1e-6, samples=60)
+        assert campaign.mean_error == pytest.approx(injector.golden_error, abs=0.02)
+
+    def test_large_p_error_much_higher(self, injector):
+        campaign = injector.forward_campaign(0.05, samples=60)
+        assert campaign.mean_error > injector.golden_error + 0.1
+
+    def test_error_monotone_in_p_on_average(self, injector):
+        errors = [
+            injector.forward_campaign(p, samples=80).mean_error
+            for p in (1e-5, 1e-3, 1e-1)
+        ]
+        assert errors[0] <= errors[1] <= errors[2]
+
+    def test_reproducible_from_seed(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        make = lambda: BayesianFaultInjector(
+            trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=99
+        )
+        a = make().forward_campaign(1e-2, samples=40)
+        b = make().forward_campaign(1e-2, samples=40)
+        assert np.array_equal(a.chains.matrix(), b.chains.matrix())
+
+    def test_different_p_use_independent_streams(self, injector):
+        a = injector.forward_campaign(1e-2, samples=40)
+        b = injector.forward_campaign(2e-2, samples=40)
+        assert not np.array_equal(a.chains.matrix(), b.chains.matrix())
+
+    def test_mean_flips_tracks_expectation(self, injector):
+        p = 1e-3
+        campaign = injector.forward_campaign(p, samples=100)
+        n_bits = sum(param.size for _, param in injector.parameter_targets) * 32
+        expected = n_bits * p
+        assert campaign.mean_flips == pytest.approx(expected, rel=0.5)
+
+    def test_summary_row_keys(self, injector):
+        row = injector.forward_campaign(1e-3, samples=20).summary_row()
+        assert {"p", "mean_error_pct", "golden_error_pct", "evaluations"} <= set(row)
+
+
+class TestMCMCCampaign:
+    def test_agrees_with_forward_sampling(self, injector):
+        p = 1e-2
+        forward = injector.forward_campaign(p, samples=300)
+        mcmc = injector.mcmc_campaign(p, chains=4, steps=150)
+        assert mcmc.mean_error == pytest.approx(forward.mean_error, abs=0.06)
+
+    def test_completeness_report_attached(self, injector):
+        campaign = injector.mcmc_campaign(1e-2, chains=2, steps=40)
+        assert campaign.completeness is not None
+        assert campaign.completeness.steps == 40
+
+    def test_requires_parameter_surfaces(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        spec = TargetSpec(surfaces=frozenset({FaultSurface.INPUTS}))
+        injector = BayesianFaultInjector(trained_mlp, eval_x, eval_y, spec=spec, seed=0)
+        with pytest.raises(ValueError, match="parameter fault surfaces"):
+            injector.mcmc_campaign(1e-3)
+
+    def test_proposal_weight_validation(self, injector):
+        with pytest.raises(ValueError):
+            injector.mcmc_campaign(1e-3, toggle_weight=0.0, resample_weight=0.0)
+
+
+class TestAdaptiveCampaign:
+    def test_stops_when_complete(self, injector):
+        from repro.mcmc import CompletenessCriterion
+
+        criterion = CompletenessCriterion(stderr_tolerance=0.02, min_ess=50)
+        campaign = injector.run_until_complete(
+            1e-2, criterion=criterion, chains=2, batch_steps=40, max_steps=400
+        )
+        assert campaign.completeness.complete
+        assert campaign.chains.steps <= 400
+
+    def test_respects_max_steps_when_impossible(self, injector):
+        from repro.mcmc import CompletenessCriterion
+
+        criterion = CompletenessCriterion(stderr_tolerance=1e-9)
+        campaign = injector.run_until_complete(
+            1e-2, criterion=criterion, chains=2, batch_steps=50, max_steps=100
+        )
+        assert not campaign.completeness.complete
+        assert campaign.chains.steps == 100
+
+
+class TestTemperedCampaign:
+    def test_reweighted_estimate_in_plausible_range(self, injector):
+        p = 2e-3
+        forward = injector.forward_campaign(p, samples=300)
+        _, weighted = injector.tempered_campaign(p, beta=5.0, chains=2, steps=200)
+        assert weighted == pytest.approx(forward.mean_error, abs=0.08)
+
+    def test_beta_validation(self, injector):
+        with pytest.raises(ValueError):
+            injector.tempered_campaign(1e-3, beta=-1.0)
+
+
+class TestTransientSurfaces:
+    def test_activation_only_campaign_runs(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        spec = TargetSpec(surfaces=frozenset({FaultSurface.ACTIVATIONS}))
+        injector = BayesianFaultInjector(trained_mlp, eval_x, eval_y, spec=spec, seed=1)
+        campaign = injector.forward_campaign(1e-2, samples=30)
+        assert campaign.mean_error >= 0.0
+
+    def test_all_surfaces_at_least_as_bad_as_weights_only(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        p = 1e-2
+        weights = BayesianFaultInjector(
+            trained_mlp, eval_x, eval_y, spec=TargetSpec(), seed=2
+        ).forward_campaign(p, samples=120)
+        everything = BayesianFaultInjector(
+            trained_mlp, eval_x, eval_y, spec=TargetSpec.all_surfaces(), seed=2
+        ).forward_campaign(p, samples=120)
+        assert everything.mean_error >= weights.mean_error - 0.03

@@ -1,0 +1,122 @@
+"""Outcome taxonomy and the one-call assessment."""
+
+import numpy as np
+import pytest
+
+from repro.core import BayesianFaultInjector, OutcomeCampaign, assess_model
+from repro.faults import FaultSurface, TargetSpec
+
+
+@pytest.fixture()
+def injector(trained_mlp, moons_eval):
+    eval_x, eval_y = moons_eval
+    return BayesianFaultInjector(
+        trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+    )
+
+
+class TestOutcomeCampaign:
+    def test_rates_partition_to_one(self, injector):
+        campaign = OutcomeCampaign(injector).run(5e-3, samples=120)
+        total = campaign.masked_rate + campaign.sdc_rate + campaign.due_rate
+        assert total == pytest.approx(1.0)
+
+    def test_tiny_p_mostly_masked(self, injector):
+        campaign = OutcomeCampaign(injector).run(1e-6, samples=80)
+        assert campaign.masked_rate > 0.9
+
+    def test_large_p_mostly_damaging(self, injector):
+        campaign = OutcomeCampaign(injector).run(5e-2, samples=80)
+        assert campaign.masked_rate < 0.5
+
+    def test_outcome_labels_consistent(self, injector):
+        campaign = OutcomeCampaign(injector).run(1e-2, samples=60)
+        for outcome in campaign.outcomes:
+            if outcome.outcome == "masked":
+                assert outcome.mismatch_fraction == 0.0
+            if outcome.outcome == "due":
+                assert outcome.due
+
+    def test_rate_interval_brackets(self, injector):
+        campaign = OutcomeCampaign(injector).run(5e-3, samples=100)
+        lo, hi = campaign.rate_interval("sdc")
+        assert lo <= campaign.sdc_rate <= hi
+
+    def test_detectable_fraction_nan_when_all_masked(self, injector):
+        campaign = OutcomeCampaign(injector).run(1e-9, samples=20)
+        if campaign.masked_rate == 1.0:
+            assert np.isnan(campaign.detectable_fraction_of_damage())
+
+    def test_summary_keys(self, injector):
+        summary = OutcomeCampaign(injector).run(1e-3, samples=30).summary()
+        assert {"masked_rate", "sdc_rate", "due_rate", "mean_error"} <= set(summary)
+
+    def test_requires_run_before_rates(self, injector):
+        campaign = OutcomeCampaign(injector)
+        with pytest.raises(RuntimeError):
+            _ = campaign.masked_rate
+
+    def test_transient_surfaces_rejected(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        injector = BayesianFaultInjector(
+            trained_mlp, eval_x, eval_y,
+            spec=TargetSpec(surfaces=frozenset({FaultSurface.WEIGHTS, FaultSurface.INPUTS})),
+            seed=0,
+        )
+        with pytest.raises(ValueError, match="parameter surfaces"):
+            OutcomeCampaign(injector)
+
+    def test_validation(self, injector):
+        with pytest.raises(ValueError):
+            OutcomeCampaign(injector).run(1e-3, samples=0)
+
+
+class TestAssessment:
+    @pytest.fixture(scope="class")
+    def assessment(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        return assess_model(
+            trained_mlp,
+            eval_x,
+            eval_y,
+            seed=0,
+            samples_per_point=60,
+            outcome_samples=80,
+            layerwise_samples=20,
+        )
+
+    def test_sweep_covers_grid(self, assessment):
+        assert len(assessment.sweep_table) == 9
+
+    def test_knee_within_grid(self, assessment):
+        assert 1e-5 <= assessment.knee_p <= 1e-1
+
+    def test_outcome_summary_present(self, assessment):
+        assert assessment.outcome_summary["samples"] == 80
+
+    def test_field_sensitivity_ordering(self, assessment):
+        # Exponent impact dwarfs mantissa (or is infinite via catastrophic sites).
+        assert (
+            assessment.field_sensitivity["exponent"]
+            > assessment.field_sensitivity["mantissa"]
+        )
+
+    def test_layerwise_included_for_multilayer_model(self, assessment):
+        assert len(assessment.layer_table) == 2  # the MLP's two layers
+        assert "spearman_rho" in assessment.layer_depth_correlation
+
+    def test_markdown_renders(self, assessment):
+        text = assessment.to_markdown()
+        assert "# Fault-tolerance assessment" in text
+        assert "Outcome taxonomy" in text
+        assert "Per-layer vulnerability" in text
+        assert f"{assessment.golden_error:.2%}" in text
+
+    def test_layerwise_can_be_skipped(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        assessment = assess_model(
+            trained_mlp, eval_x, eval_y, seed=0,
+            samples_per_point=30, outcome_samples=30, include_layerwise=False,
+        )
+        assert assessment.layer_table == []
+        assert "Per-layer" not in assessment.to_markdown()

@@ -1,0 +1,82 @@
+"""ErrorPosterior and CampaignResult summaries."""
+
+import numpy as np
+import pytest
+
+from repro.core import ErrorPosterior
+
+
+def _posterior(values, golden=0.01):
+    return ErrorPosterior(np.asarray(values, dtype=np.float64), golden)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            _posterior([])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            _posterior([0.5, 1.2])
+        with pytest.raises(ValueError):
+            _posterior([-0.1])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ErrorPosterior(np.zeros((2, 2)), 0.0)
+
+
+class TestSummaries:
+    def test_mean_std(self):
+        p = _posterior([0.1, 0.2, 0.3])
+        assert p.mean == pytest.approx(0.2)
+        assert p.std == pytest.approx(0.1)
+
+    def test_single_sample_std_zero(self):
+        assert _posterior([0.5]).std == 0.0
+
+    def test_credible_interval_ordering(self):
+        rng = np.random.default_rng(0)
+        p = _posterior(rng.uniform(0, 1, 500))
+        lo, hi = p.credible_interval(0.9)
+        assert 0 <= lo < p.mean < hi <= 1
+
+    def test_credible_interval_mass_validation(self):
+        with pytest.raises(ValueError):
+            _posterior([0.1, 0.2]).credible_interval(1.5)
+
+    def test_quantile(self):
+        p = _posterior(np.linspace(0, 1, 101))
+        assert p.quantile(0.5) == pytest.approx(0.5)
+
+
+class TestFaultImpact:
+    def test_excess_error(self):
+        p = _posterior([0.11, 0.09], golden=0.05)
+        assert p.excess_error == pytest.approx(0.05)
+
+    def test_exceedance_default_threshold_is_golden(self):
+        p = _posterior([0.0, 0.02, 0.5], golden=0.01)
+        assert p.exceedance_probability() == pytest.approx(2 / 3)
+
+    def test_exceedance_custom_threshold(self):
+        p = _posterior([0.1, 0.2, 0.3])
+        assert p.exceedance_probability(0.25) == pytest.approx(1 / 3)
+
+    def test_sdc_beta_posterior_counts(self):
+        p = _posterior([0.0, 0.0, 0.5, 0.5], golden=0.1)
+        beta = p.sdc_beta_posterior()
+        # Jeffreys prior (.5, .5) + 2 exceed + 2 not.
+        assert beta.a == pytest.approx(2.5)
+        assert beta.b == pytest.approx(2.5)
+
+    def test_histogram(self):
+        counts, edges = _posterior([0.1, 0.1, 0.9]).histogram(bins=10)
+        assert counts.sum() == 3
+        assert len(edges) == 11
+        with pytest.raises(ValueError):
+            _posterior([0.1]).histogram(bins=0)
+
+    def test_repr_contains_summary(self):
+        text = repr(_posterior([0.1, 0.2]))
+        assert "mean=" in text and "golden=" in text

@@ -1,0 +1,98 @@
+"""Property-based tests for core analysis objects (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines import wilson_interval
+from repro.core import ErrorPosterior, fit_two_regimes
+from repro.core.knee import truncate_saturated_tail
+
+_error_samples = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=2, max_value=60),
+    elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=64),
+)
+
+
+class TestErrorPosteriorProperties:
+    @given(_error_samples)
+    @settings(max_examples=40, deadline=None)
+    def test_mean_within_range(self, samples):
+        posterior = ErrorPosterior(samples, golden_error=0.0)
+        # 1-ULP tolerance: the mean of identical values can round past max.
+        assert samples.min() - 1e-12 <= posterior.mean <= samples.max() + 1e-12
+
+    @given(_error_samples)
+    @settings(max_examples=40, deadline=None)
+    def test_credible_interval_nested(self, samples):
+        posterior = ErrorPosterior(samples, golden_error=0.0)
+        lo50, hi50 = posterior.credible_interval(0.5)
+        lo95, hi95 = posterior.credible_interval(0.95)
+        assert lo95 <= lo50 <= hi50 <= hi95
+
+    @given(_error_samples, st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_exceedance_monotone_in_threshold(self, samples, threshold):
+        posterior = ErrorPosterior(samples, golden_error=0.0)
+        assert posterior.exceedance_probability(threshold) >= posterior.exceedance_probability(
+            min(threshold + 0.1, 1.0)
+        )
+
+    @given(_error_samples)
+    @settings(max_examples=40, deadline=None)
+    def test_histogram_counts_all_samples(self, samples):
+        posterior = ErrorPosterior(samples, golden_error=0.0)
+        counts, _ = posterior.histogram(bins=7)
+        assert counts.sum() == len(samples)
+
+
+class TestWilsonProperties:
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=1, max_value=500))
+    @settings(max_examples=60, deadline=None)
+    def test_contains_point_estimate(self, hits, trials):
+        hits = min(hits, trials)
+        lo, hi = wilson_interval(hits, trials)
+        assert 0.0 <= lo <= hits / trials <= hi <= 1.0
+
+    @given(st.floats(min_value=0.05, max_value=0.95), st.integers(min_value=10, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_width_shrinks_with_n(self, rate, trials):
+        small = wilson_interval(int(rate * trials), trials)
+        large = wilson_interval(int(rate * trials * 10), trials * 10)
+        assert (large[1] - large[0]) <= (small[1] - small[0]) + 1e-9
+
+
+class TestKneeProperties:
+    @given(
+        st.floats(min_value=-4.5, max_value=-1.5),
+        st.floats(min_value=0.05, max_value=0.5),
+        st.floats(min_value=0.0, max_value=0.01),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_prediction_continuous_at_knee(self, knee_log, steep, flat):
+        p = np.logspace(-5, -1, 15)
+        x = np.log10(p)
+        y = np.where(x <= knee_log, 0.05 + flat * (x - knee_log), 0.05 + steep * (x - knee_log))
+        fit = fit_two_regimes(p, y)
+        eps = 1e-6
+        left = fit.predict(np.asarray([10 ** (fit.knee_log10_p - eps)]))[0]
+        right = fit.predict(np.asarray([10 ** (fit.knee_log10_p + eps)]))[0]
+        assert left == pytest.approx(right, abs=1e-4)
+
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=st.integers(min_value=5, max_value=15),
+            elements=st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_truncation_keeps_prefix(self, errors):
+        p = np.logspace(-5, -1, len(errors))
+        kept_p, kept_e = truncate_saturated_tail(p, errors)
+        assert len(kept_p) == len(kept_e) <= len(errors)
+        assert np.array_equal(kept_e, errors[: len(kept_e)])
+        assert len(kept_p) >= min(5, len(errors))

@@ -1,0 +1,152 @@
+"""Experiment drivers: sweeps (Figs. 2/4), layerwise (Fig. 3), boundary (Fig. 1③)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BayesianFaultInjector,
+    DecisionBoundaryAnalysis,
+    LayerwiseCampaign,
+    ProbabilitySweep,
+)
+from repro.core.layerwise import parameterised_layers
+from repro.faults import BernoulliBitFlipModel, TargetSpec
+
+
+@pytest.fixture()
+def injector(trained_mlp, moons_eval):
+    eval_x, eval_y = moons_eval
+    return BayesianFaultInjector(
+        trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+    )
+
+
+class TestProbabilitySweep:
+    def test_default_grid_is_paper_range(self, injector):
+        sweep = ProbabilitySweep(injector)
+        assert sweep.p_values[0] == pytest.approx(1e-5)
+        assert sweep.p_values[-1] == pytest.approx(1e-1)
+
+    def test_run_produces_point_per_p(self, injector):
+        sweep = ProbabilitySweep(
+            injector, p_values=tuple(np.logspace(-4, -1, 5)), samples=40
+        ).run()
+        assert len(sweep.points) == 5
+        assert len(sweep.table()) == 5
+
+    def test_two_regimes_found_on_real_sweep(self, injector):
+        sweep = ProbabilitySweep(
+            injector, p_values=tuple(np.logspace(-5, -1, 9)), samples=80
+        ).run()
+        fit = sweep.fit_regimes()
+        assert fit.has_two_regimes  # the paper's finding F2
+
+    def test_stratified_method(self, injector):
+        sweep = ProbabilitySweep(
+            injector, p_values=tuple(np.logspace(-5, -3, 5)), samples=40, method="stratified"
+        ).run()
+        assert all(pt.campaign.method == "stratified" for pt in sweep.points)
+
+    def test_mcmc_method(self, injector):
+        sweep = ProbabilitySweep(
+            injector, p_values=(1e-3, 1e-2, 1e-1), samples=40, method="mcmc"
+        ).run()
+        assert all(pt.campaign.completeness is not None for pt in sweep.points)
+
+    def test_accessors_before_run_raise(self, injector):
+        sweep = ProbabilitySweep(injector)
+        with pytest.raises(RuntimeError):
+            sweep.errors()
+
+    def test_validation(self, injector):
+        with pytest.raises(ValueError):
+            ProbabilitySweep(injector, p_values=(0.1, 0.01))  # not increasing
+        with pytest.raises(ValueError):
+            ProbabilitySweep(injector, p_values=(0.0, 0.1))
+        with pytest.raises(ValueError):
+            ProbabilitySweep(injector, method="exact")
+
+
+class TestLayerwise:
+    def test_parameterised_layers_of_mlp(self, trained_mlp):
+        assert parameterised_layers(trained_mlp) == ["layers.0", "layers.2"]
+
+    def test_campaign_per_layer(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        campaign = LayerwiseCampaign(
+            trained_mlp, eval_x, eval_y, p=1e-2, samples=40, seed=0
+        ).run()
+        assert [r.layer for r in campaign.results] == ["layers.0", "layers.2"]
+        assert all(r.parameter_count > 0 for r in campaign.results)
+
+    def test_depth_correlation_keys(self, tiny_resnet, tiny_images):
+        x, y = tiny_images
+        layers = tuple(parameterised_layers(tiny_resnet)[:5])
+        campaign = LayerwiseCampaign(
+            tiny_resnet, x, y, p=1e-3, samples=10, layers=layers, seed=0
+        ).run()
+        stats = campaign.depth_correlation()
+        assert set(stats) == {"spearman_rho", "spearman_p", "kendall_tau", "kendall_p"}
+        assert -1 <= stats["spearman_rho"] <= 1
+
+    def test_results_required_before_stats(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        campaign = LayerwiseCampaign(trained_mlp, eval_x, eval_y, seed=0)
+        with pytest.raises(RuntimeError):
+            campaign.depth_correlation()
+
+    def test_validation(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        with pytest.raises(ValueError):
+            LayerwiseCampaign(trained_mlp, eval_x, eval_y, p=0.0)
+
+
+class TestBoundary:
+    def test_map_shapes(self, trained_mlp):
+        analysis = DecisionBoundaryAnalysis(
+            trained_mlp, bounds=(-1.5, 2.5, -1.2, 1.7), resolution=20,
+            fault_model=BernoulliBitFlipModel(1e-3), seed=0,
+        )
+        bmap = analysis.run(samples=20)
+        assert bmap.flip_probability.shape == (20, 20)
+        assert bmap.golden_prediction.shape == (20, 20)
+        assert np.all((bmap.flip_probability >= 0) & (bmap.flip_probability <= 1))
+
+    def test_boundary_distance_zero_on_boundary_cells(self, trained_mlp):
+        analysis = DecisionBoundaryAnalysis(
+            trained_mlp, bounds=(-1.5, 2.5, -1.2, 1.7), resolution=24, seed=0
+        )
+        bmap = analysis.run(samples=5)
+        assert bmap.boundary_distance.min() == 0.0
+        assert bmap.boundary_distance.max() > 1.0
+
+    def test_errors_concentrate_near_boundary(self, trained_mlp):
+        """Finding F1: flip probability decays with boundary distance."""
+        analysis = DecisionBoundaryAnalysis(
+            trained_mlp, bounds=(-1.5, 2.5, -1.2, 1.7), resolution=30,
+            fault_model=BernoulliBitFlipModel(1e-3), seed=0,
+        )
+        bmap = analysis.run(samples=60)
+        corr = bmap.distance_correlation()
+        assert corr["spearman_rho"] < -0.1
+        assert corr["spearman_p"] < 0.01
+        bands = bmap.band_summary(4)
+        assert bands[0]["mean_flip_probability"] > bands[-1]["mean_flip_probability"]
+
+    def test_log_flip_probability_finite(self, trained_mlp):
+        analysis = DecisionBoundaryAnalysis(
+            trained_mlp, bounds=(-1.5, 2.5, -1.2, 1.7), resolution=16, seed=0
+        )
+        bmap = analysis.run(samples=10)
+        assert np.isfinite(bmap.log_flip_probability()).all()
+
+    def test_validation(self, trained_mlp):
+        with pytest.raises(ValueError):
+            DecisionBoundaryAnalysis(trained_mlp, bounds=(1, 0, 0, 1))
+        with pytest.raises(ValueError):
+            DecisionBoundaryAnalysis(trained_mlp, bounds=(0, 1, 0, 1), resolution=2)
+        analysis = DecisionBoundaryAnalysis(trained_mlp, bounds=(0, 1, 0, 1), resolution=8, seed=0)
+        with pytest.raises(ValueError):
+            analysis.run(samples=0)
+        with pytest.raises(ValueError):
+            bands = analysis.run(samples=2).band_summary(1)

@@ -1,0 +1,89 @@
+"""Fault-propagation tracing."""
+
+import numpy as np
+import pytest
+
+from repro.core import trace_fault_propagation
+from repro.faults import BernoulliBitFlipModel, FaultConfiguration, TargetSpec, resolve_parameter_targets
+
+
+@pytest.fixture()
+def targets(trained_mlp):
+    return resolve_parameter_targets(trained_mlp, TargetSpec.weights_and_biases())
+
+
+class TestTrace:
+    def test_empty_configuration_no_divergence(self, trained_mlp, moons_eval, targets):
+        eval_x, _ = moons_eval
+        trace = trace_fault_propagation(
+            trained_mlp, eval_x, FaultConfiguration.empty(targets)
+        )
+        assert trace.prediction_change_fraction == 0.0
+        assert np.allclose(trace.divergence_profile(), 0.0)
+        assert trace.first_corrupted_layer() is None
+        assert trace.amplification() == 0.0
+
+    def test_fault_in_first_layer_diverges_from_first_layer(self, trained_mlp, moons_eval, targets):
+        eval_x, _ = moons_eval
+        rng = np.random.default_rng(0)
+        masks = {name: np.zeros(param.shape, dtype=np.uint32) for name, param in targets}
+        # Flip the top mantissa + low exponent bits of one first-layer weight.
+        masks["layers.0.weight"][0, 0] = np.uint32(1) << np.uint32(23)
+        trace = trace_fault_propagation(trained_mlp, eval_x, FaultConfiguration(masks))
+        assert trace.first_corrupted_layer() == "layers.0"
+        assert trace.layers[0].relative_l2 > 0
+
+    def test_fault_in_last_layer_leaves_first_clean(self, trained_mlp, moons_eval, targets):
+        eval_x, _ = moons_eval
+        masks = {name: np.zeros(param.shape, dtype=np.uint32) for name, param in targets}
+        masks["layers.2.weight"][0, 0] = np.uint32(1) << np.uint32(23)
+        trace = trace_fault_propagation(trained_mlp, eval_x, FaultConfiguration(masks))
+        assert trace.layers[0].relative_l2 == 0.0
+        assert trace.first_corrupted_layer() == "layers.2"
+
+    def test_model_restored_after_trace(self, trained_mlp, moons_eval, targets):
+        eval_x, _ = moons_eval
+        before = {n: p.data.copy() for n, p in targets}
+        configuration = FaultConfiguration.sample(targets, BernoulliBitFlipModel(0.05), np.random.default_rng(1))
+        trace_fault_propagation(trained_mlp, eval_x, configuration)
+        for name, param in targets:
+            assert np.array_equal(before[name], param.data)
+
+    def test_non_finite_marked(self, trained_mlp, moons_eval, targets):
+        eval_x, _ = moons_eval
+        masks = {name: np.zeros(param.shape, dtype=np.uint32) for name, param in targets}
+        masks["layers.0.weight"][0, 0] = np.uint32(1) << np.uint32(30)  # -> inf weight
+        trace = trace_fault_propagation(trained_mlp, eval_x, FaultConfiguration(masks))
+        assert trace.layers[0].non_finite
+        assert trace.layers[0].relative_l2 == float("inf")
+
+    def test_table_rows(self, trained_mlp, moons_eval, targets):
+        eval_x, _ = moons_eval
+        trace = trace_fault_propagation(trained_mlp, eval_x, FaultConfiguration.empty(targets))
+        rows = trace.table()
+        assert [row["layer"] for row in rows] == ["layers.0", "layers.2"]
+
+    def test_custom_layer_selection(self, trained_mlp, moons_eval, targets):
+        eval_x, _ = moons_eval
+        trace = trace_fault_propagation(
+            trained_mlp, eval_x, FaultConfiguration.empty(targets), layers=["layers.2"]
+        )
+        assert len(trace.layers) == 1
+
+    def test_validation(self, trained_mlp, targets):
+        with pytest.raises(ValueError):
+            trace_fault_propagation(trained_mlp, np.zeros((0, 2)), FaultConfiguration.empty(targets))
+        with pytest.raises(ValueError):
+            trace_fault_propagation(
+                trained_mlp, np.zeros((2, 2), dtype=np.float32),
+                FaultConfiguration.empty(targets), layers=[],
+            )
+
+    def test_resnet_trace_covers_all_layers(self, tiny_resnet, tiny_images):
+        x, _ = tiny_images
+        targets = resolve_parameter_targets(tiny_resnet, TargetSpec.weights_and_biases())
+        configuration = FaultConfiguration.sample(
+            targets, BernoulliBitFlipModel(1e-5), np.random.default_rng(2)
+        )
+        trace = trace_fault_propagation(tiny_resnet, x[:2], configuration)
+        assert len(trace.layers) == 41  # every parameterised ResNet-18 layer

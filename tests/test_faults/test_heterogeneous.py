@@ -1,0 +1,108 @@
+"""Heterogeneous per-lane AVF model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bits import count_set_bits
+from repro.faults import BernoulliBitFlipModel, HeterogeneousBitFlipModel
+
+
+class TestConstruction:
+    def test_uniform_factory(self):
+        model = HeterogeneousBitFlipModel.uniform(0.01)
+        assert np.allclose(model.lane_probs, 0.01)
+
+    def test_ecc_factory_suppresses_exponent(self):
+        model = HeterogeneousBitFlipModel.ecc_on_exponent(0.01, residual_factor=0.1)
+        assert np.allclose(model.lane_probs[23:31], 0.001)
+        assert np.allclose(model.lane_probs[:23], 0.01)
+        assert model.lane_probs[31] == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeterogeneousBitFlipModel(np.full(16, 0.1))
+        with pytest.raises(ValueError):
+            HeterogeneousBitFlipModel(np.full(32, 1.5))
+
+
+class TestSampling:
+    def test_zero_lanes_never_flip(self, rng):
+        probs = np.zeros(32)
+        probs[5] = 0.5
+        model = HeterogeneousBitFlipModel(probs)
+        mask = model.sample_mask((500,), rng)
+        only_lane5 = np.uint32(1) << np.uint32(5)
+        assert not np.any(mask & ~only_lane5)
+        assert count_set_bits(mask) > 0
+
+    def test_flip_counts_match_lane_means(self, rng):
+        probs = np.zeros(32)
+        probs[0] = 0.2
+        probs[31] = 0.05
+        model = HeterogeneousBitFlipModel(probs)
+        n = 2000
+        mask = model.sample_mask((n,), rng)
+        lane0 = int(((mask >> np.uint32(0)) & np.uint32(1)).sum())
+        lane31 = int(((mask >> np.uint32(31)) & np.uint32(1)).sum())
+        assert abs(lane0 - 0.2 * n) < 5 * np.sqrt(0.2 * 0.8 * n)
+        assert abs(lane31 - 0.05 * n) < 5 * np.sqrt(0.05 * 0.95 * n)
+
+    def test_uniform_matches_homogeneous_statistics(self, rng):
+        p = 0.02
+        hetero = HeterogeneousBitFlipModel.uniform(p)
+        homo = BernoulliBitFlipModel(p)
+        n = 1000
+        counts_hetero = [count_set_bits(hetero.sample_mask((n,), rng)) for _ in range(20)]
+        counts_homo = [count_set_bits(homo.sample_mask((n,), rng)) for _ in range(20)]
+        expected = n * 32 * p
+        assert abs(np.mean(counts_hetero) - expected) < 0.05 * expected
+        assert abs(np.mean(counts_homo) - expected) < 0.05 * expected
+
+    def test_expected_flips(self):
+        probs = np.zeros(32)
+        probs[:4] = 0.25
+        model = HeterogeneousBitFlipModel(probs)
+        assert model.expected_flips(10) == pytest.approx(10.0)
+
+
+class TestLogProb:
+    def test_agrees_with_homogeneous_on_uniform(self):
+        p = 0.05
+        hetero = HeterogeneousBitFlipModel.uniform(p)
+        homo = BernoulliBitFlipModel(p)
+        mask = np.array([0b1011, 0], dtype=np.uint32)
+        assert hetero.log_prob_mask(mask) == pytest.approx(homo.log_prob_mask(mask))
+
+    def test_impossible_lane_minus_inf(self):
+        probs = np.zeros(32)
+        probs[0] = 0.5
+        model = HeterogeneousBitFlipModel(probs)
+        forbidden = np.array([0b10], dtype=np.uint32)  # lane 1 has p=0
+        assert model.log_prob_mask(forbidden) == -math.inf
+
+    def test_certain_lane(self):
+        probs = np.zeros(32)
+        probs[3] = 1.0
+        model = HeterogeneousBitFlipModel(probs)
+        required = np.array([0b1000], dtype=np.uint32)
+        assert model.log_prob_mask(required) == 0.0
+        assert model.log_prob_mask(np.array([0], dtype=np.uint32)) == -math.inf
+
+    def test_ecc_model_reduces_campaign_error(self, trained_mlp, moons_eval):
+        """Integration: ECC-on-exponent AVF lowers the measured error, the
+        heterogeneous-model counterpart of the A5 protection result."""
+        from repro.core import BayesianFaultInjector
+        from repro.faults import TargetSpec
+
+        eval_x, eval_y = moons_eval
+        injector = BayesianFaultInjector(
+            trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+        )
+        p = 5e-3
+        raw = injector.forward_campaign(p, samples=120, fault_model=BernoulliBitFlipModel(p))
+        ecc = injector.forward_campaign(
+            p, samples=120, fault_model=HeterogeneousBitFlipModel.ecc_on_exponent(p), stream="ecc"
+        )
+        assert ecc.mean_error < raw.mean_error

@@ -1,0 +1,123 @@
+"""Fault model distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bits import count_set_bits
+from repro.faults import BernoulliBitFlipModel, ByteErrorModel, SingleBitFlipModel, StuckAtModel
+
+
+class TestBernoulliModel:
+    def test_expected_flips(self):
+        model = BernoulliBitFlipModel(0.01)
+        assert model.expected_flips(100) == pytest.approx(32.0)
+
+    def test_restricted_lanes_expected_flips(self):
+        model = BernoulliBitFlipModel(0.5, bits=(30, 31))
+        assert model.expected_flips(10) == pytest.approx(10.0)
+
+    def test_sample_respects_lanes(self, rng):
+        model = BernoulliBitFlipModel(0.8, bits=(0, 1))
+        mask = model.sample_mask((50,), rng)
+        assert not np.any(mask & ~np.uint32(0b11))
+
+    def test_log_prob_empty_mask(self):
+        model = BernoulliBitFlipModel(0.01)
+        mask = np.zeros(10, dtype=np.uint32)
+        expected = 320 * math.log1p(-0.01)
+        assert model.log_prob_mask(mask) == pytest.approx(expected)
+
+    def test_log_prob_counts_bits(self):
+        model = BernoulliBitFlipModel(0.25)
+        mask = np.array([0b111], dtype=np.uint32)
+        expected = 3 * math.log(0.25) + 29 * math.log(0.75)
+        assert model.log_prob_mask(mask) == pytest.approx(expected)
+
+    def test_log_prob_outside_lanes_is_minus_inf(self):
+        model = BernoulliBitFlipModel(0.5, bits=(31,))
+        mask = np.array([1], dtype=np.uint32)  # bit 0 set, not allowed
+        assert model.log_prob_mask(mask) == -math.inf
+
+    def test_degenerate_probabilities(self):
+        zero = BernoulliBitFlipModel(0.0)
+        assert zero.log_prob_mask(np.zeros(2, dtype=np.uint32)) == 0.0
+        assert zero.log_prob_mask(np.ones(2, dtype=np.uint32)) == -math.inf
+        one = BernoulliBitFlipModel(1.0)
+        assert one.log_prob_mask(np.full(2, 0xFFFFFFFF, dtype=np.uint32)) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliBitFlipModel(1.5)
+        with pytest.raises(ValueError):
+            BernoulliBitFlipModel(0.1, bits=(40,))
+        with pytest.raises(ValueError):
+            BernoulliBitFlipModel(0.1, bits=())
+
+
+class TestSingleBitModel:
+    def test_exactly_one_flip(self, rng):
+        model = SingleBitFlipModel()
+        for _ in range(20):
+            mask = model.sample_mask((7, 3), rng)
+            assert count_set_bits(mask) == 1
+
+    def test_lane_restriction(self, rng):
+        model = SingleBitFlipModel(bits=(31,))
+        for _ in range(10):
+            mask = model.sample_mask((5,), rng)
+            assert mask.max() == np.uint32(1) << np.uint32(31)
+
+    def test_empty_array_rejected(self, rng):
+        with pytest.raises(ValueError):
+            SingleBitFlipModel().sample_mask((0,), rng)
+
+
+class TestStuckAt:
+    def test_stuck_at_one_sets_bit(self, rng):
+        model = StuckAtModel(1)
+        values = np.zeros(10, dtype=np.float32)  # all bits 0
+        out = model.corrupt(values, rng)
+        # Exactly one bit forced to 1 (compare bit patterns: a sign-bit
+        # flip yields -0.0, which numerically equals 0.0).
+        assert count_set_bits(out.view(np.uint32)) == 1
+
+    def test_stuck_at_zero_on_all_ones_pattern(self, rng):
+        model = StuckAtModel(0)
+        values = np.full(10, np.float32(np.nan))  # nan has many set bits
+        bits_before = values.view(np.uint32).copy()
+        out = model.corrupt(values, rng)
+        diff = bits_before ^ out.view(np.uint32)
+        assert count_set_bits(diff) <= 1  # cleared at most one bit
+
+    def test_can_be_noop(self, rng):
+        # Sticking a zero bit at 0 changes nothing — allowed by the model.
+        model = StuckAtModel(0)
+        values = np.zeros(4, dtype=np.float32)
+        out = model.corrupt(values, rng)
+        assert np.array_equal(out, values)
+
+    def test_sample_mask_unsupported(self, rng):
+        with pytest.raises(NotImplementedError):
+            StuckAtModel(1).sample_mask((2,), rng)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StuckAtModel(2)
+
+
+class TestByteError:
+    def test_corruption_confined_to_one_byte(self, rng):
+        model = ByteErrorModel()
+        for _ in range(20):
+            mask = model.sample_mask((6,), rng)
+            nonzero = mask[mask != 0]
+            assert len(nonzero) <= 1
+            if len(nonzero):
+                word = int(nonzero[0])
+                bytes_touched = sum(1 for b in range(4) if word >> (8 * b) & 0xFF)
+                assert bytes_touched == 1
+
+    def test_expected_flips(self):
+        assert ByteErrorModel().expected_flips(10) == 4.0

@@ -1,0 +1,87 @@
+"""Fault surface and layer targeting."""
+
+import pytest
+
+from repro.faults import FaultSurface, TargetSpec, resolve_activation_modules, resolve_parameter_targets
+from repro.nn import paper_mlp
+from repro.nn.models import resnet18_cifar_small
+
+
+@pytest.fixture(scope="module")
+def mlp():
+    return paper_mlp(rng=0)
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return resnet18_cifar_small(rng=0)
+
+
+class TestTargetSpec:
+    def test_default_is_weights_only(self):
+        assert TargetSpec().surfaces == frozenset({FaultSurface.WEIGHTS})
+
+    def test_empty_surfaces_rejected(self):
+        with pytest.raises(ValueError):
+            TargetSpec(surfaces=frozenset())
+
+    def test_all_surfaces_constructor(self):
+        assert TargetSpec.all_surfaces().surfaces == frozenset(FaultSurface)
+
+    def test_layer_glob_matching(self):
+        spec = TargetSpec(include_layers=("stages.1.*",), exclude_layers=("*.bn2",))
+        assert spec.matches_layer("stages.1.0.conv1")
+        assert not spec.matches_layer("stages.2.0.conv1")
+        assert not spec.matches_layer("stages.1.0.bn2")
+
+    def test_none_include_matches_everything(self):
+        spec = TargetSpec(exclude_layers=("fc",))
+        assert spec.matches_layer("stem.0")
+        assert not spec.matches_layer("fc")
+
+
+class TestResolveParameters:
+    def test_weights_only_excludes_biases(self, mlp):
+        names = [n for n, _ in resolve_parameter_targets(mlp, TargetSpec())]
+        assert names == ["layers.0.weight", "layers.2.weight"]
+
+    def test_weights_and_biases(self, mlp):
+        names = [n for n, _ in resolve_parameter_targets(mlp, TargetSpec.weights_and_biases())]
+        assert len(names) == 4
+
+    def test_biases_only(self, mlp):
+        spec = TargetSpec(surfaces=frozenset({FaultSurface.BIASES}))
+        names = [n for n, _ in resolve_parameter_targets(mlp, spec)]
+        assert names == ["layers.0.bias", "layers.2.bias"]
+
+    def test_single_layer(self, resnet):
+        targets = resolve_parameter_targets(resnet, TargetSpec.single_layer("stages.2.0.conv1"))
+        assert [n for n, _ in targets] == ["stages.2.0.conv1.weight"]
+
+    def test_batchnorm_scale_counts_as_weight(self, resnet):
+        targets = resolve_parameter_targets(resnet, TargetSpec.single_layer("stem.1"))
+        names = [n for n, _ in targets]
+        assert "stem.1.weight" in names and "stem.1.bias" in names
+
+    def test_order_matches_named_parameters(self, resnet):
+        spec = TargetSpec.weights_and_biases()
+        targets = [n for n, _ in resolve_parameter_targets(resnet, spec)]
+        all_names = [n for n, _ in resnet.named_parameters()]
+        assert targets == all_names
+
+
+class TestResolveActivations:
+    def test_empty_when_surface_not_selected(self, mlp):
+        assert resolve_activation_modules(mlp, TargetSpec()) == []
+
+    def test_selects_parameterised_leaves(self, mlp):
+        modules = resolve_activation_modules(mlp, TargetSpec.all_surfaces())
+        assert [n for n, _ in modules] == ["layers.0", "layers.2"]
+
+    def test_respects_layer_filter(self, resnet):
+        spec = TargetSpec(
+            surfaces=frozenset({FaultSurface.ACTIVATIONS}), include_layers=("stem.*",)
+        )
+        modules = resolve_activation_modules(resnet, spec)
+        assert all(n.startswith("stem.") for n, _ in modules)
+        assert modules  # stem conv and bn present

@@ -1,0 +1,106 @@
+"""Cross-cutting edge cases not covered by per-module suites."""
+
+import numpy as np
+import pytest
+
+from repro.core import BayesianFaultInjector, OutcomeCampaign
+from repro.faults import (
+    BernoulliBitFlipModel,
+    BurstBitFlipModel,
+    FaultConfiguration,
+    HeterogeneousBitFlipModel,
+    TargetSpec,
+)
+from repro.mcmc import PriorTarget, TemperedErrorTarget
+
+
+@pytest.fixture()
+def injector(trained_mlp, moons_eval):
+    eval_x, eval_y = moons_eval
+    return BayesianFaultInjector(
+        trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+    )
+
+
+class TestTargetsAPI:
+    def test_prior_target_importance_weight_zero(self, injector):
+        target = PriorTarget(BernoulliBitFlipModel(1e-3))
+        cfg = FaultConfiguration.empty(injector.parameter_targets)
+        assert target.importance_log_weight(cfg, 0.37) == 0.0
+        assert np.isfinite(target.log_density(cfg))
+
+    def test_tempered_target_density_decomposes(self, injector):
+        model = BernoulliBitFlipModel(1e-3)
+        stat = lambda cfg: 0.25
+        target = TemperedErrorTarget(model, stat, beta=4.0)
+        cfg = FaultConfiguration.empty(injector.parameter_targets)
+        expected = cfg.log_prob(model) + 4.0 * 0.25
+        assert target.log_density(cfg) == pytest.approx(expected)
+        assert target.importance_log_weight(cfg, 0.25) == pytest.approx(-1.0)
+
+    def test_tempered_beta_validation(self):
+        with pytest.raises(ValueError):
+            TemperedErrorTarget(BernoulliBitFlipModel(1e-3), lambda c: 0.0, beta=-1.0)
+
+
+class TestAlternativeModelsThroughCampaigns:
+    """Every mask-based fault model must compose with the full campaign API."""
+
+    @pytest.mark.parametrize(
+        "fault_model",
+        [
+            HeterogeneousBitFlipModel.ecc_on_exponent(5e-3),
+            BurstBitFlipModel(5e-3, burst_length=3),
+            BernoulliBitFlipModel(5e-3, bits=(29, 30, 31)),
+        ],
+        ids=["heterogeneous-ecc", "burst", "lane-restricted"],
+    )
+    def test_forward_campaign_accepts_model(self, injector, fault_model):
+        campaign = injector.forward_campaign(5e-3, samples=40, fault_model=fault_model)
+        assert 0.0 <= campaign.mean_error <= 1.0
+        assert campaign.total_evaluations == 40
+
+    def test_outcome_campaign_with_custom_model(self, injector):
+        campaign = OutcomeCampaign(injector).run(
+            5e-3, samples=40, fault_model=BurstBitFlipModel(5e-3, burst_length=2)
+        )
+        assert campaign.masked_rate + campaign.sdc_rate + campaign.due_rate == pytest.approx(1.0)
+
+
+class TestInjectorStreamIsolation:
+    def test_named_streams_are_independent(self, injector):
+        a = injector.forward_campaign(1e-3, samples=30, stream="alpha")
+        b = injector.forward_campaign(1e-3, samples=30, stream="beta")
+        assert not np.array_equal(a.chains.matrix(), b.chains.matrix())
+
+    def test_same_stream_same_result(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+
+        def run():
+            injector = BayesianFaultInjector(
+                trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=5
+            )
+            return injector.forward_campaign(1e-3, samples=30, stream="gamma").chains.matrix()
+
+        assert np.array_equal(run(), run())
+
+
+class TestGoldenStateInvariants:
+    def test_many_campaign_kinds_leave_weights_untouched(self, trained_mlp, moons_eval):
+        """The strongest hygiene invariant: after every campaign style, the
+        golden bit patterns are exactly intact."""
+        eval_x, eval_y = moons_eval
+        injector = BayesianFaultInjector(
+            trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=9
+        )
+        before = {
+            name: param.data.view(np.uint32).copy()
+            for name, param in injector.parameter_targets
+        }
+        injector.forward_campaign(1e-2, samples=20)
+        injector.mcmc_campaign(1e-2, chains=2, steps=10)
+        injector.tempered_campaign(1e-2, beta=2.0, chains=2, steps=10)
+        injector.parallel_tempering_campaign(1e-2, chains=1, sweeps=10)
+        OutcomeCampaign(injector).run(1e-2, samples=10)
+        for name, param in injector.parameter_targets:
+            assert np.array_equal(before[name], param.data.view(np.uint32)), name

@@ -1,0 +1,108 @@
+"""End-to-end reproduction of the paper's three findings on the MLP.
+
+These are the integration tests that tie the whole stack together: train a
+golden network, run BDLFI campaigns, and assert the *shape* of the paper's
+results (not absolute numbers — our substrate is synthetic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BayesianFaultInjector,
+    DecisionBoundaryAnalysis,
+    LayerwiseCampaign,
+    ProbabilitySweep,
+)
+from repro.faults import BernoulliBitFlipModel, TargetSpec
+
+
+@pytest.fixture(scope="module")
+def injector(trained_mlp, moons_eval):
+    eval_x, eval_y = moons_eval
+    return BayesianFaultInjector(
+        trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=2019
+    )
+
+
+class TestFindingF1DecisionBoundary:
+    """Faults are most damaging near the decision boundary (Fig. 1 ③)."""
+
+    def test_flip_probability_decays_with_distance(self, trained_mlp):
+        analysis = DecisionBoundaryAnalysis(
+            trained_mlp,
+            bounds=(-1.5, 2.5, -1.2, 1.7),
+            resolution=36,
+            fault_model=BernoulliBitFlipModel(1e-3),
+            seed=1,
+        )
+        bmap = analysis.run(samples=80)
+        corr = bmap.distance_correlation()
+        assert corr["spearman_rho"] < -0.15
+        assert corr["spearman_p"] < 1e-4
+        bands = bmap.band_summary(5)
+        # Nearest band must be the most fault-sensitive.
+        flips = [band["mean_flip_probability"] for band in bands]
+        assert flips[0] == max(flips)
+
+
+class TestFindingF2TwoRegimes:
+    """Error vs flip probability has a flat regime, a knee, and a steep
+    regime (Fig. 2)."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self, injector):
+        return ProbabilitySweep(
+            injector, p_values=tuple(np.logspace(-5, -1, 9)), samples=120, chains=2
+        ).run()
+
+    def test_two_regimes_detected(self, sweep):
+        fit = sweep.fit_regimes()
+        assert fit.has_two_regimes
+        assert 1e-5 < fit.knee_p < 1e-1
+
+    def test_flat_regime_close_to_golden(self, sweep):
+        first = sweep.points[0]
+        assert first.mean_error == pytest.approx(sweep.golden_error, abs=0.02)
+
+    def test_steep_regime_far_from_golden(self, sweep):
+        last = sweep.points[-1]
+        assert last.mean_error > sweep.golden_error + 0.15
+
+    def test_errors_nondecreasing_up_to_noise(self, sweep):
+        errors = sweep.errors()
+        assert np.all(np.diff(errors) > -0.05)
+
+
+class TestFindingF3LayerDepth:
+    """No depth → error relationship (Fig. 3) — verified here on the MLP's
+    two layers (the full ResNet version runs in the benchmark harness)."""
+
+    def test_both_layers_vulnerable(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        campaign = LayerwiseCampaign(
+            trained_mlp, eval_x, eval_y, p=5e-3, samples=80, seed=3
+        ).run()
+        errors = campaign.errors()
+        golden = campaign.results[0].campaign.golden_error
+        # Depth does not shield: the last layer is at least comparably
+        # affected to the first.
+        assert all(err > golden for err in errors)
+
+
+class TestCompletenessWorkflow:
+    """Advantage #1: the adaptive campaign stops once mixed, and its
+    estimate matches a much larger fixed-budget campaign."""
+
+    def test_adaptive_matches_fixed_budget(self, injector):
+        from repro.mcmc import CompletenessCriterion
+
+        criterion = CompletenessCriterion(stderr_tolerance=0.015, min_ess=80)
+        adaptive = injector.run_until_complete(
+            5e-3, criterion=criterion, chains=2, batch_steps=50, max_steps=600
+        )
+        reference = injector.forward_campaign(5e-3, samples=800, stream="reference")
+        assert adaptive.completeness.complete
+        assert adaptive.mean_error == pytest.approx(reference.mean_error, abs=0.05)
+        # The adaptive campaign should not need the full reference budget.
+        assert adaptive.total_evaluations <= 2 * reference.total_evaluations

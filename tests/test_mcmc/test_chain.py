@@ -1,0 +1,54 @@
+"""Chain and ChainSet storage."""
+
+import numpy as np
+import pytest
+
+from repro.mcmc import Chain, ChainSet
+
+
+def _chain(values, chain_id=0):
+    c = Chain(chain_id)
+    for i, v in enumerate(values):
+        c.record(v, flips=i, accepted=(i % 2 == 0))
+    return c
+
+
+class TestChain:
+    def test_record_and_accessors(self):
+        c = _chain([0.1, 0.2, 0.3])
+        assert len(c) == 3
+        assert np.allclose(c.values, [0.1, 0.2, 0.3])
+        assert np.array_equal(c.flips, [0, 1, 2])
+
+    def test_acceptance_rate(self):
+        c = _chain([0.0] * 4)
+        assert c.acceptance_rate == pytest.approx(0.5)
+
+    def test_empty_acceptance_is_nan(self):
+        assert np.isnan(Chain().acceptance_rate)
+
+    def test_tail_discards_burn_in(self):
+        c = _chain(list(range(10)))
+        assert np.array_equal(c.tail(0.3), np.arange(3, 10, dtype=float))
+        with pytest.raises(ValueError):
+            c.tail(1.0)
+
+
+class TestChainSet:
+    def test_matrix_shape(self):
+        cs = ChainSet([_chain([1, 2, 3, 4]), _chain([5, 6, 7, 8], 1)])
+        assert cs.matrix().shape == (2, 4)
+        assert cs.steps == 4
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ChainSet([_chain([1, 2]), _chain([1, 2, 3])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ChainSet([])
+
+    def test_pooled_mean(self):
+        cs = ChainSet([_chain([1.0, 1.0]), _chain([3.0, 3.0], 1)])
+        assert cs.mean() == pytest.approx(2.0)
+        assert cs.pooled().shape == (4,)

@@ -1,0 +1,131 @@
+"""Convergence diagnostics on chains with known properties."""
+
+import numpy as np
+import pytest
+
+from repro.mcmc import (
+    autocorrelation,
+    effective_sample_size,
+    geweke_z,
+    monte_carlo_standard_error,
+    split_r_hat,
+)
+
+
+def _ar1(phi, n, chains=4, seed=0):
+    """AR(1) chains with autocorrelation phi (stationary start)."""
+    rng = np.random.default_rng(seed)
+    out = np.zeros((chains, n))
+    for c in range(chains):
+        x = rng.normal() / np.sqrt(1 - phi**2)
+        for t in range(n):
+            x = phi * x + rng.normal()
+            out[c, t] = x
+    return out
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        acf = autocorrelation(np.random.default_rng(0).normal(size=200))
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_iid_decays_immediately(self):
+        acf = autocorrelation(np.random.default_rng(1).normal(size=5000), max_lag=5)
+        assert np.all(np.abs(acf[1:]) < 0.05)
+
+    def test_ar1_matches_theory(self):
+        series = _ar1(0.8, 20000, chains=1, seed=2)[0]
+        acf = autocorrelation(series, max_lag=3)
+        assert acf[1] == pytest.approx(0.8, abs=0.05)
+        assert acf[2] == pytest.approx(0.64, abs=0.05)
+
+    def test_constant_series(self):
+        acf = autocorrelation(np.ones(50), max_lag=3)
+        assert acf[0] == 1.0
+        assert np.all(acf[1:] == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            autocorrelation(np.zeros(1))
+
+
+class TestRHat:
+    def test_iid_chains_near_one(self):
+        chains = np.random.default_rng(3).normal(size=(4, 1000))
+        assert split_r_hat(chains) == pytest.approx(1.0, abs=0.02)
+
+    def test_shifted_chains_detected(self):
+        rng = np.random.default_rng(4)
+        chains = rng.normal(size=(4, 500))
+        chains[0] += 5.0  # one chain stuck in a different mode
+        assert split_r_hat(chains) > 1.5
+
+    def test_intra_chain_drift_detected(self):
+        # Split R-hat also catches trends within a single chain.
+        rng = np.random.default_rng(5)
+        drifting = rng.normal(size=(4, 500)) + np.linspace(0, 5, 500)
+        assert split_r_hat(drifting) > 1.2
+
+    def test_constant_chains_converged(self):
+        assert split_r_hat(np.ones((3, 100))) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_r_hat(np.zeros(10))
+        with pytest.raises(ValueError):
+            split_r_hat(np.zeros((2, 3)))
+
+
+class TestESS:
+    def test_iid_ess_close_to_n(self):
+        chains = np.random.default_rng(6).normal(size=(4, 500))
+        ess = effective_sample_size(chains)
+        assert 1400 < ess <= 2300  # near m*n = 2000
+
+    def test_correlated_chains_shrink_ess(self):
+        phi = 0.9
+        chains = _ar1(phi, 800, seed=7)
+        ess = effective_sample_size(chains)
+        expected = 4 * 800 * (1 - phi) / (1 + phi)  # ≈ 168
+        assert 0.4 * expected < ess < 2.5 * expected
+
+    def test_single_chain_accepted(self):
+        ess = effective_sample_size(np.random.default_rng(8).normal(size=1000))
+        assert ess > 500
+
+    def test_constant_chain(self):
+        assert effective_sample_size(np.ones((2, 100))) == 200.0
+
+    def test_ordering_iid_vs_correlated(self):
+        iid = effective_sample_size(np.random.default_rng(9).normal(size=(2, 400)))
+        corr = effective_sample_size(_ar1(0.95, 400, chains=2, seed=10))
+        assert corr < iid
+
+
+class TestGewekeAndMCSE:
+    def test_stationary_chain_small_z(self):
+        z = geweke_z(np.random.default_rng(11).normal(size=2000))
+        assert abs(z) < 3.0
+
+    def test_drifting_chain_large_z(self):
+        chain = np.random.default_rng(12).normal(size=1000) + np.linspace(0, 4, 1000)
+        assert abs(geweke_z(chain)) > 4.0
+
+    def test_geweke_validation(self):
+        with pytest.raises(ValueError):
+            geweke_z(np.zeros(5))
+        with pytest.raises(ValueError):
+            geweke_z(np.zeros(100), first=0.6, last=0.6)
+
+    def test_mcse_shrinks_with_samples(self):
+        rng = np.random.default_rng(13)
+        small = monte_carlo_standard_error(rng.normal(size=(2, 100)))
+        large = monte_carlo_standard_error(rng.normal(size=(2, 10000)))
+        assert large < small
+
+    def test_mcse_approximates_theory_for_iid(self):
+        chains = np.random.default_rng(14).normal(size=(4, 2000))
+        mcse = monte_carlo_standard_error(chains)
+        assert mcse == pytest.approx(1.0 / np.sqrt(8000), rel=0.3)

@@ -1,0 +1,89 @@
+"""Completeness criterion — the paper's stop-when-mixed rule."""
+
+import numpy as np
+import pytest
+
+from repro.mcmc import Chain, ChainSet, CompletenessCriterion
+
+
+def _chain_set(matrix):
+    chains = []
+    for i, row in enumerate(matrix):
+        c = Chain(i)
+        for v in row:
+            c.record(float(v), flips=0)
+        chains.append(c)
+    return ChainSet(chains)
+
+
+class TestCriterion:
+    def test_well_mixed_iid_chains_complete(self):
+        rng = np.random.default_rng(0)
+        cs = _chain_set(0.1 + 0.01 * rng.normal(size=(4, 800)))
+        report = CompletenessCriterion(stderr_tolerance=0.01).assess(cs)
+        assert report.complete
+        assert report.r_hat < 1.05
+        assert report.ess > 100
+
+    def test_disagreeing_chains_incomplete(self):
+        rng = np.random.default_rng(1)
+        matrix = 0.1 + 0.01 * rng.normal(size=(4, 400))
+        matrix[0] += 0.5
+        report = CompletenessCriterion().assess(_chain_set(matrix))
+        assert not report.complete
+        assert report.r_hat > 1.05
+
+    def test_too_few_samples_incomplete(self):
+        rng = np.random.default_rng(2)
+        cs = _chain_set(rng.normal(size=(2, 40)))
+        report = CompletenessCriterion(min_ess=500).assess(cs)
+        assert not report.complete
+
+    def test_loose_tolerance_easier(self):
+        rng = np.random.default_rng(3)
+        cs = _chain_set(0.5 + 0.2 * rng.normal(size=(4, 300)))
+        strict = CompletenessCriterion(stderr_tolerance=1e-4).assess(cs)
+        loose = CompletenessCriterion(stderr_tolerance=0.05).assess(cs)
+        assert not strict.complete
+        assert loose.complete
+
+    def test_report_string(self):
+        rng = np.random.default_rng(4)
+        report = CompletenessCriterion().assess(_chain_set(rng.normal(size=(2, 100))))
+        text = str(report)
+        assert "R-hat" in text and "ESS" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompletenessCriterion(r_hat_threshold=1.0)
+        with pytest.raises(ValueError):
+            CompletenessCriterion(min_ess=0)
+        with pytest.raises(ValueError):
+            CompletenessCriterion(stderr_tolerance=0)
+        with pytest.raises(ValueError):
+            CompletenessCriterion(discard_fraction=1.0)
+
+
+class TestStepsToComplete:
+    def test_finds_early_stopping_point(self):
+        rng = np.random.default_rng(5)
+        cs = _chain_set(0.2 + 0.05 * rng.normal(size=(4, 1000)))
+        criterion = CompletenessCriterion(stderr_tolerance=0.01)
+        steps = criterion.steps_to_complete(cs, check_every=50)
+        assert steps is not None
+        assert steps < 1000
+        # And the prefix at that point really is complete.
+        prefix = _chain_set(cs.matrix()[:, :steps])
+        assert criterion.assess(prefix).complete
+
+    def test_never_complete_returns_none(self):
+        rng = np.random.default_rng(6)
+        matrix = rng.normal(size=(2, 200))
+        matrix[0] += 10  # irreconcilable chains
+        criterion = CompletenessCriterion()
+        assert criterion.steps_to_complete(_chain_set(matrix)) is None
+
+    def test_check_every_validated(self):
+        cs = _chain_set(np.zeros((2, 10)))
+        with pytest.raises(ValueError):
+            CompletenessCriterion().steps_to_complete(cs, check_every=0)

@@ -1,0 +1,138 @@
+"""Analytic propagation through convolutional architectures."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, make_digit_dataset
+from repro.faults import BernoulliBitFlipModel, TargetSpec
+from repro.moments import MomentPropagator
+from repro.nn import BatchNorm2d, Conv2d, Dense, Flatten, LeNet, ReLU, Sequential
+from repro.nn.pooling import AvgPool2d, GlobalAvgPool2d
+from repro.train import Adam, Trainer
+
+BENIGN_LANES = tuple(range(0, 23)) + (31,)
+
+
+@pytest.fixture(scope="module")
+def digit_lenet():
+    """Avg-pool LeNet trained on seven-segment digits."""
+    train = make_digit_dataset(1000, size=16, noise=0.3, rng=0)
+    test = make_digit_dataset(250, size=16, noise=0.3, rng=1)
+    model = LeNet(in_channels=1, num_classes=10, image_size=16, pool="avg", rng=0)
+    Trainer(model, Adam(model.parameters(), lr=1e-3)).fit(
+        DataLoader(train, batch_size=64, shuffle=True, rng=2), epochs=6
+    )
+    model.eval()
+    return model, test.features[:120], test.labels[:120]
+
+
+class TestFlattening:
+    def test_lenet_avg_flattens(self, digit_lenet):
+        model, _, _ = digit_lenet
+        propagator = MomentPropagator(model, 1e-4)
+        kinds = [type(layer).__name__ for layer in propagator.sequence]
+        assert "Conv2d" in kinds and "AvgPool2d" in kinds and "Dense" in kinds
+
+    def test_max_pool_lenet_rejected(self):
+        model = LeNet(in_channels=1, num_classes=10, image_size=16, pool="max", rng=0)
+        with pytest.raises(TypeError, match="unsupported layer"):
+            MomentPropagator(model, 1e-4)
+
+    def test_nested_sequential_supported(self):
+        model = Sequential(
+            Sequential(Conv2d(1, 2, 3, padding=1, rng=0), ReLU()),
+            Flatten(),
+            Dense(2 * 8 * 8, 3, rng=1),
+        )
+        propagator = MomentPropagator(model, 1e-4)
+        assert len(propagator.sequence) == 4
+
+
+class TestCnnPropagation:
+    def test_zero_p_matches_clean_network(self, digit_lenet):
+        model, eval_x, eval_y = digit_lenet
+        from repro.tensor import Tensor, no_grad
+
+        propagator = MomentPropagator(model, 0.0)
+        mean, variance = propagator.propagate(eval_x)
+        with no_grad():
+            logits = model(Tensor(eval_x)).data
+        assert np.allclose(mean, logits, atol=1e-3)
+        assert np.allclose(variance, 0.0, atol=1e-6)
+
+    def test_benign_lane_prediction_matches_mc(self, digit_lenet):
+        from repro.core import BayesianFaultInjector
+
+        model, eval_x, eval_y = digit_lenet
+        injector = BayesianFaultInjector(
+            model, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+        )
+        p = 1e-3
+        prediction = MomentPropagator(model, p, bits=BENIGN_LANES).predict_error(eval_x, eval_y)
+        campaign = injector.forward_campaign(
+            p, samples=120, fault_model=BernoulliBitFlipModel(p, bits=BENIGN_LANES)
+        )
+        assert prediction.combined_error == pytest.approx(campaign.mean_error, abs=0.04)
+
+    def test_full_lane_bounds_bracket_mc(self, digit_lenet):
+        from repro.core import BayesianFaultInjector
+
+        model, eval_x, eval_y = digit_lenet
+        injector = BayesianFaultInjector(
+            model, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+        )
+        p = 1e-4
+        prediction = MomentPropagator(model, p).predict_error(eval_x, eval_y)
+        campaign = injector.forward_campaign(p, samples=120)
+        assert prediction.brackets(campaign.mean_error)
+
+    def test_variance_grows_with_p(self, digit_lenet):
+        model, eval_x, _ = digit_lenet
+        _, var_small = MomentPropagator(model, 1e-5, bits=BENIGN_LANES).propagate(eval_x[:8])
+        _, var_large = MomentPropagator(model, 1e-3, bits=BENIGN_LANES).propagate(eval_x[:8])
+        assert var_large.mean() > var_small.mean()
+
+
+class TestBatchNormMoments:
+    def test_batchnorm_affine_exact(self):
+        """With zero fault variance, the BN moment step must equal the
+        layer's own eval-mode forward."""
+        from repro.tensor import Tensor, no_grad
+
+        rng = np.random.default_rng(0)
+        bn = BatchNorm2d(3)
+        # Give the running stats non-trivial values.
+        bn._set_buffer("running_mean", rng.normal(size=3).astype(np.float32))
+        bn._set_buffer("running_var", rng.uniform(0.5, 2.0, size=3).astype(np.float32))
+        bn.weight.data[...] = rng.normal(1.0, 0.2, size=3).astype(np.float32)
+        bn.bias.data[...] = rng.normal(size=3).astype(np.float32)
+        bn.eval()
+        model = Sequential(bn, Flatten(), Dense(3 * 4 * 4, 2, rng=1))
+        propagator = MomentPropagator(model, 0.0)
+        x = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        mean, variance = propagator.propagate(x)
+        with no_grad():
+            expected = model(Tensor(x)).data
+        assert np.allclose(mean, expected, atol=1e-4)
+        assert np.allclose(variance, 0.0)
+
+
+class TestPoolingMoments:
+    def test_avgpool_variance_reduction(self):
+        model = Sequential(AvgPool2d(2), Flatten(), Dense(4, 2, rng=0))
+        propagator = MomentPropagator(model, 0.0)
+        # Inject synthetic variance by hand through the internal machinery:
+        mean = np.ones((1, 1, 4, 4))
+        variance = np.full((1, 1, 4, 4), 4.0)
+        pooled_mean, pooled_var = propagator._avgpool_moments(AvgPool2d(2), mean, variance)
+        assert np.allclose(pooled_mean, 1.0)
+        assert np.allclose(pooled_var, 1.0)  # var/k² = 4/4
+
+    def test_global_avgpool_in_sequence(self):
+        model = Sequential(
+            Conv2d(1, 4, 3, padding=1, rng=0), ReLU(), GlobalAvgPool2d(), Dense(4, 2, rng=1)
+        )
+        propagator = MomentPropagator(model, 1e-4, bits=BENIGN_LANES)
+        mean, variance = propagator.propagate(np.random.default_rng(0).normal(size=(2, 1, 6, 6)).astype(np.float32))
+        assert mean.shape == (2, 2)
+        assert (variance >= 0).all()

@@ -1,0 +1,157 @@
+"""Analytic moment propagation: perturbation moments, ADF, validation vs MC."""
+
+import numpy as np
+import pytest
+
+from repro.faults import BernoulliBitFlipModel, TargetSpec
+from repro.moments import MomentPropagator, weight_perturbation_moments
+from repro.moments.perturbation import default_severe_threshold
+from repro.moments.propagation import _relu_moments
+
+BENIGN_LANES = tuple(range(0, 23)) + (31,)
+
+
+class TestPerturbationMoments:
+    def test_moments_match_exhaustive_expectation(self, rng):
+        """E[Δw] and E[Δw²] over benign lanes must match the brute-force
+        single-flip enumeration to first order in p."""
+        values = np.asarray([0.75, -1.5, 0.1], dtype=np.float32)
+        p = 1e-4
+        moments = weight_perturbation_moments(values, p, bits=BENIGN_LANES)
+        from repro.bits import flip_bit
+
+        for i, w in enumerate(values):
+            deltas = [flip_bit(float(w), b) - float(w) for b in BENIGN_LANES]
+            expected_mean = p * sum(deltas)
+            expected_second = p * sum(d * d for d in deltas)
+            assert moments.mean[i] == pytest.approx(expected_mean, rel=1e-6)
+            assert moments.variance[i] == pytest.approx(expected_second - expected_mean**2, rel=1e-5)
+
+    def test_severe_sites_counted_for_normal_weights(self):
+        values = np.asarray([0.5, 1.0, -0.25], dtype=np.float32)
+        moments = weight_perturbation_moments(values, 1e-3)
+        # High exponent flips of O(1) weights exceed any sane threshold.
+        assert moments.total_severe_sites >= 3  # at least bit 30 each
+
+    def test_severe_probability_exact(self):
+        values = np.asarray([1.0], dtype=np.float32)
+        p = 0.01
+        moments = weight_perturbation_moments(values, p)
+        k = moments.total_severe_sites
+        assert moments.severe_probability() == pytest.approx(1 - (1 - p) ** k)
+
+    def test_lane_restriction_removes_severe_sites(self):
+        values = np.asarray([0.5, -2.0], dtype=np.float32)
+        moments = weight_perturbation_moments(values, 1e-3, bits=BENIGN_LANES)
+        assert moments.total_severe_sites == 0
+
+    def test_zero_p_zero_moments(self):
+        values = np.asarray([1.0, 2.0], dtype=np.float32)
+        moments = weight_perturbation_moments(values, 0.0)
+        assert not moments.mean.any()
+        assert not moments.variance.any()
+        assert moments.severe_probability() == 0.0
+
+    def test_default_threshold_scales_with_rms(self):
+        small = default_severe_threshold(np.full(10, 0.01, dtype=np.float32))
+        large = default_severe_threshold(np.full(10, 50.0, dtype=np.float32))
+        assert large > small
+        assert small == pytest.approx(100.0)  # floored at rms=1
+
+    def test_validation(self):
+        values = np.ones(3, dtype=np.float32)
+        with pytest.raises(ValueError):
+            weight_perturbation_moments(values, 1.5)
+        with pytest.raises(ValueError):
+            weight_perturbation_moments(values, 0.1, bits=())
+        with pytest.raises(ValueError):
+            weight_perturbation_moments(values, 0.1, severe_threshold=0.0)
+
+
+class TestReluMoments:
+    def test_zero_variance_is_plain_relu(self):
+        mean = np.asarray([-1.0, 0.0, 2.0])
+        out_mean, out_var = _relu_moments(mean, np.zeros(3))
+        assert np.allclose(out_mean, [0.0, 0.0, 2.0])
+        assert np.allclose(out_var, 0.0)
+
+    def test_matches_monte_carlo(self, rng):
+        mu, sigma = 0.3, 1.2
+        out_mean, out_var = _relu_moments(np.asarray([mu]), np.asarray([sigma**2]))
+        draws = np.maximum(rng.normal(mu, sigma, size=200_000), 0.0)
+        assert out_mean[0] == pytest.approx(draws.mean(), rel=0.02)
+        assert out_var[0] == pytest.approx(draws.var(), rel=0.02)
+
+    def test_deep_negative_mean_vanishes(self):
+        out_mean, out_var = _relu_moments(np.asarray([-50.0]), np.asarray([1.0]))
+        assert out_mean[0] < 1e-6
+        assert out_var[0] < 1e-4
+
+
+class TestPropagator:
+    def test_zero_p_reproduces_clean_predictions(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        propagator = MomentPropagator(trained_mlp, 0.0)
+        prediction = propagator.predict_error(eval_x, eval_y)
+        assert prediction.severe_probability == 0.0
+        assert prediction.combined_error == pytest.approx(prediction.golden_error, abs=1e-9)
+
+    def test_benign_lane_prediction_matches_monte_carlo(self, trained_mlp, moons_eval):
+        """The headline A7 agreement: with severe lanes excluded, the
+        analytic prediction tracks sampling campaigns closely."""
+        from repro.core import BayesianFaultInjector
+
+        eval_x, eval_y = moons_eval
+        injector = BayesianFaultInjector(
+            trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+        )
+        for p in (1e-3, 1e-2):
+            propagator = MomentPropagator(trained_mlp, p, bits=BENIGN_LANES)
+            prediction = propagator.predict_error(eval_x, eval_y)
+            campaign = injector.forward_campaign(
+                p, samples=300, fault_model=BernoulliBitFlipModel(p, bits=BENIGN_LANES),
+                stream=f"benign:{p}",
+            )
+            assert prediction.combined_error == pytest.approx(campaign.mean_error, abs=0.02)
+
+    def test_full_lane_bounds_bracket_monte_carlo(self, trained_mlp, moons_eval):
+        from repro.core import BayesianFaultInjector
+
+        eval_x, eval_y = moons_eval
+        injector = BayesianFaultInjector(
+            trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+        )
+        for p in (1e-4, 1e-3, 1e-2):
+            propagator = MomentPropagator(trained_mlp, p)
+            prediction = propagator.predict_error(eval_x, eval_y)
+            campaign = injector.forward_campaign(p, samples=300)
+            assert prediction.brackets(campaign.mean_error), (p, prediction, campaign.mean_error)
+
+    def test_error_monotone_in_p(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        errors = [
+            MomentPropagator(trained_mlp, p, bits=BENIGN_LANES).predict_error(eval_x, eval_y).combined_error
+            for p in (1e-5, 1e-3, 1e-1)
+        ]
+        assert errors[0] <= errors[1] <= errors[2] + 1e-9
+
+    def test_bounds_ordering(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        prediction = MomentPropagator(trained_mlp, 1e-3).predict_error(eval_x, eval_y)
+        assert prediction.error_lower <= prediction.combined_error <= prediction.error_upper
+
+    def test_unsupported_models_rejected(self, tiny_resnet):
+        with pytest.raises(TypeError):
+            MomentPropagator(tiny_resnet, 1e-3)
+
+    def test_model_without_dense_rejected(self):
+        from repro.nn import ReLU, Sequential
+
+        with pytest.raises(ValueError):
+            MomentPropagator(Sequential(ReLU()), 1e-3)
+
+    def test_misclassification_probability_validation(self):
+        with pytest.raises(ValueError):
+            MomentPropagator.misclassification_probability(
+                np.zeros((3, 2)), np.zeros((3, 2)), np.zeros(4, dtype=np.int64)
+            )

@@ -1,0 +1,56 @@
+"""Weight initialiser statistics and fan computation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFans:
+    def test_dense_shape(self):
+        assert init.fan_in_and_out((10, 20)) == (10, 20)
+
+    def test_conv_shape(self):
+        assert init.fan_in_and_out((8, 4, 3, 3)) == (4 * 9, 8 * 9)
+
+    def test_unsupported_shape_raises(self):
+        with pytest.raises(ValueError):
+            init.fan_in_and_out((3,))
+
+
+class TestInitialisers:
+    def test_kaiming_uniform_bound(self):
+        rng = np.random.default_rng(0)
+        w = init.kaiming_uniform((100, 50), rng)
+        bound = math.sqrt(2.0) * math.sqrt(3.0 / 100)
+        assert w.dtype == np.float32
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_kaiming_normal_std(self):
+        rng = np.random.default_rng(1)
+        w = init.kaiming_normal((1000, 100), rng)
+        expected = math.sqrt(2.0) / math.sqrt(1000)
+        assert abs(w.std() - expected) / expected < 0.05
+
+    def test_xavier_uniform_bound(self):
+        rng = np.random.default_rng(2)
+        w = init.xavier_uniform((60, 40), rng)
+        bound = math.sqrt(6.0 / 100)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_xavier_normal_std(self):
+        rng = np.random.default_rng(3)
+        w = init.xavier_normal((500, 500), rng)
+        expected = math.sqrt(2.0 / 1000)
+        assert abs(w.std() - expected) / expected < 0.05
+
+    def test_zeros_ones(self):
+        assert not init.zeros((3, 3)).any()
+        assert (init.ones((2, 2)) == 1).all()
+
+    def test_determinism_under_same_generator_state(self):
+        a = init.kaiming_uniform((5, 5), np.random.default_rng(9))
+        b = init.kaiming_uniform((5, 5), np.random.default_rng(9))
+        assert np.array_equal(a, b)

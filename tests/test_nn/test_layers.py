@@ -1,0 +1,100 @@
+"""Dense, Flatten, Identity, Dropout, activations."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, Dropout, Flatten, Identity
+from repro.nn.activations import LeakyReLU, LogSoftmax, ReLU, Sigmoid, Softmax, Tanh
+from repro.tensor import Tensor
+
+
+class TestDense:
+    def test_output_shape_and_value(self):
+        layer = Dense(3, 2, rng=0)
+        layer.weight.data[...] = np.arange(6, dtype=np.float32).reshape(3, 2)
+        layer.bias.data[...] = np.array([1.0, -1.0], dtype=np.float32)
+        out = layer(Tensor(np.array([[1.0, 1.0, 1.0]], dtype=np.float32)))
+        assert np.allclose(out.data, [[0 + 2 + 4 + 1, 1 + 3 + 5 - 1]])
+
+    def test_no_bias(self):
+        layer = Dense(3, 2, bias=False, rng=0)
+        assert layer.bias is None
+        assert [n for n, _ in layer.named_parameters()] == ["weight"]
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            Dense(0, 4)
+        with pytest.raises(ValueError):
+            Dense(4, -1)
+
+    def test_deterministic_init_from_seed(self):
+        a, b = Dense(5, 5, rng=7), Dense(5, 5, rng=7)
+        assert np.array_equal(a.weight.data, b.weight.data)
+
+    def test_gradients_flow(self):
+        layer = Dense(3, 2, rng=0)
+        out = layer(Tensor(np.ones((4, 3), dtype=np.float32)))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        assert np.allclose(layer.bias.grad, 4.0)
+
+
+class TestStructural:
+    def test_flatten(self):
+        out = Flatten()(Tensor(np.zeros((2, 3, 4, 5), dtype=np.float32)))
+        assert out.shape == (2, 60)
+
+    def test_identity(self):
+        x = Tensor(np.ones(3, dtype=np.float32))
+        assert Identity()(x) is x
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        d = Dropout(0.5, rng=0).eval()
+        x = Tensor(np.ones((10, 10), dtype=np.float32))
+        assert d(x) is x
+
+    def test_train_mode_zeroes_and_rescales(self):
+        d = Dropout(0.5, rng=0)
+        x = Tensor(np.ones((100, 100), dtype=np.float32))
+        out = d(x).data
+        zeros = (out == 0).mean()
+        assert 0.4 < zeros < 0.6
+        kept = out[out != 0]
+        assert np.allclose(kept, 2.0)  # inverted scaling 1/keep
+
+    def test_p_zero_is_identity_in_train(self):
+        d = Dropout(0.0)
+        x = Tensor(np.ones(5, dtype=np.float32))
+        assert d(x) is x
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestActivations:
+    def test_relu_values(self):
+        out = ReLU()(Tensor(np.array([-1.0, 0.0, 2.0], dtype=np.float32)))
+        assert np.array_equal(out.data, [0, 0, 2])
+
+    def test_leaky_relu_slope(self):
+        out = LeakyReLU(0.1)(Tensor(np.array([-10.0, 10.0], dtype=np.float32)))
+        assert np.allclose(out.data, [-1.0, 10.0])
+
+    def test_tanh_sigmoid_ranges(self):
+        x = Tensor(np.linspace(-5, 5, 11).astype(np.float32))
+        assert np.all(np.abs(Tanh()(x).data) < 1.0)
+        s = Sigmoid()(x).data
+        assert np.all((s > 0) & (s < 1))
+
+    def test_softmax_layer_normalises(self):
+        out = Softmax()(Tensor(np.random.default_rng(0).normal(size=(3, 4)).astype(np.float32)))
+        assert np.allclose(out.data.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_log_softmax_layer(self):
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 5)).astype(np.float32))
+        assert np.allclose(np.exp(LogSoftmax()(x).data).sum(axis=1), 1.0, atol=1e-5)

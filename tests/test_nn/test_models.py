@@ -1,0 +1,124 @@
+"""Model zoo: paper MLP, ResNet-18, LeNet — structure and behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LeNet, MLP, paper_mlp, resnet18
+from repro.nn.models import BasicBlock, resnet18_cifar_small
+from repro.tensor import Tensor, no_grad
+
+
+class TestMLP:
+    def test_paper_mlp_has_32_hidden_units(self):
+        m = paper_mlp(rng=0)
+        assert m.layers[0].out_features == 32  # b1..b32 in Fig. 1
+
+    def test_output_shape(self):
+        m = MLP(10, (16, 8), 4, rng=0)
+        out = m(Tensor(np.zeros((5, 10), dtype=np.float32)))
+        assert out.shape == (5, 4)
+
+    def test_flattens_image_inputs(self):
+        m = MLP(3 * 8 * 8, (16,), 10, rng=0)
+        out = m(Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_requires_hidden_layer(self):
+        with pytest.raises(ValueError):
+            MLP(4, (), 2)
+
+    def test_deterministic_construction(self):
+        a, b = paper_mlp(rng=3), paper_mlp(rng=3)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 2)).astype(np.float32))
+        assert np.array_equal(a(x).data, b(x).data)
+
+
+class TestBasicBlock:
+    def test_identity_shortcut_when_shapes_match(self):
+        from repro.nn.layers import Identity
+
+        block = BasicBlock(8, 8, stride=1, rng=0)
+        assert isinstance(block.shortcut, Identity)
+
+    def test_projection_shortcut_on_stride(self):
+        block = BasicBlock(8, 16, stride=2, rng=0)
+        out = block(Tensor(np.zeros((1, 8, 8, 8), dtype=np.float32)))
+        assert out.shape == (1, 16, 4, 4)
+
+    def test_residual_path_contributes(self):
+        block = BasicBlock(4, 4, rng=0).eval()
+        x = Tensor(np.random.default_rng(1).normal(size=(1, 4, 4, 4)).astype(np.float32))
+        with no_grad():
+            out = block(x)
+        # Zeroing conv weights should leave relu(shortcut) = relu(x).
+        block.conv1.weight.data[...] = 0
+        block.conv2.weight.data[...] = 0
+        with no_grad():
+            residual_only = block(x)
+        assert np.allclose(residual_only.data, np.maximum(x.data, 0), atol=1e-5)
+        assert not np.allclose(out.data, residual_only.data)
+
+
+class TestResNet:
+    def test_full_resnet18_parameter_count(self):
+        # Torchvision's CIFAR-adapted resnet18 (3x3 stem, 10 classes) ≈ 11.17M.
+        model = resnet18(rng=0)
+        assert 11_100_000 < model.num_parameters() < 11_250_000
+
+    def test_small_variant_same_layer_structure(self):
+        full = resnet18(rng=0)
+        small = resnet18_cifar_small(rng=0)
+        assert full.layer_names() == small.layer_names()
+
+    def test_forward_shape(self, tiny_resnet):
+        with no_grad():
+            out = tiny_resnet(Tensor(np.zeros((2, 3, 16, 16), dtype=np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_has_four_stages_of_two_blocks(self, tiny_resnet):
+        assert len(tiny_resnet.stages) == 4
+        assert all(len(stage) == 2 for stage in tiny_resnet.stages)
+
+    def test_layer_names_ordered_and_parameterised(self, tiny_resnet):
+        names = tiny_resnet.layer_names()
+        assert names[0] == "stem.0"
+        assert names[-1] == "fc"
+        for name in names:
+            module = tiny_resnet.get_submodule(name)
+            assert module._parameters
+
+    def test_mismatched_config_raises(self):
+        from repro.nn.models.resnet import ResNet
+
+        with pytest.raises(ValueError):
+            ResNet(block_counts=(2, 2), widths=(8, 16, 32))
+
+    def test_downsampling_halves_resolution_per_stage(self, tiny_resnet):
+        x = Tensor(np.zeros((1, 3, 32, 32), dtype=np.float32))
+        with no_grad():
+            feat = tiny_resnet.stem(x)
+            assert feat.shape[2:] == (32, 32)
+            feat = tiny_resnet.stages[0](feat)
+            assert feat.shape[2:] == (32, 32)
+            feat = tiny_resnet.stages[1](feat)
+            assert feat.shape[2:] == (16, 16)
+            feat = tiny_resnet.stages[2](feat)
+            assert feat.shape[2:] == (8, 8)
+            feat = tiny_resnet.stages[3](feat)
+            assert feat.shape[2:] == (4, 4)
+
+
+class TestLeNet:
+    def test_mnist_shape(self):
+        model = LeNet(in_channels=1, image_size=28, rng=0)
+        out = model(Tensor(np.zeros((2, 1, 28, 28), dtype=np.float32)))
+        assert out.shape == (2, 10)
+
+    def test_cifar_shape(self):
+        model = LeNet(in_channels=3, image_size=32, num_classes=5, rng=0)
+        out = model(Tensor(np.zeros((2, 3, 32, 32), dtype=np.float32)))
+        assert out.shape == (2, 5)
+
+    def test_too_small_image_raises(self):
+        with pytest.raises(ValueError):
+            LeNet(image_size=2)

@@ -1,0 +1,151 @@
+"""Module system: registration, traversal, state_dict, train/eval."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, Module, Parameter, Sequential
+from repro.nn.norm import BatchNorm1d
+from repro.tensor import Tensor
+
+
+class _TwoLayer(Module):
+    def __init__(self):
+        super().__init__()
+        self.first = Dense(4, 8, rng=0)
+        self.second = Dense(8, 2, rng=1)
+
+    def forward(self, x):
+        return self.second(self.first(x).relu())
+
+
+class TestRegistration:
+    def test_parameters_registered_by_assignment(self):
+        m = _TwoLayer()
+        names = [n for n, _ in m.named_parameters()]
+        assert names == ["first.weight", "first.bias", "second.weight", "second.bias"]
+
+    def test_num_parameters(self):
+        m = _TwoLayer()
+        assert m.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_named_modules_includes_self_and_children(self):
+        m = _TwoLayer()
+        names = [n for n, _ in m.named_modules()]
+        assert names == ["", "first", "second"]
+
+    def test_get_submodule_and_parameter(self):
+        m = _TwoLayer()
+        assert m.get_submodule("first") is m.first
+        assert m.get_parameter("second.weight") is m.second.weight
+
+    def test_get_unknown_paths_raise(self):
+        m = _TwoLayer()
+        with pytest.raises(KeyError):
+            m.get_submodule("third")
+        with pytest.raises(KeyError):
+            m.get_parameter("first.gamma")
+
+    def test_parameter_requires_grad(self):
+        p = Parameter(np.zeros((2, 2), dtype=np.float32))
+        assert p.requires_grad
+        assert p.dtype == np.float32
+
+
+class TestTrainEval:
+    def test_mode_propagates_to_children(self):
+        m = Sequential(Dense(2, 2, rng=0), BatchNorm1d(2))
+        m.eval()
+        assert all(not child.training for child in m)
+        m.train()
+        assert all(child.training for child in m)
+
+    def test_zero_grad_clears_all(self):
+        m = _TwoLayer()
+        out = m(Tensor(np.ones((2, 4), dtype=np.float32)))
+        out.sum().backward()
+        assert m.first.weight.grad is not None
+        m.zero_grad()
+        assert all(p.grad is None for p in m.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip_exact(self):
+        m1, m2 = _TwoLayer(), _TwoLayer()
+        m2.load_state_dict(m1.state_dict())
+        x = Tensor(np.random.default_rng(0).normal(size=(3, 4)).astype(np.float32))
+        assert np.array_equal(m1(x).data, m2(x).data)
+
+    def test_state_dict_is_a_copy(self):
+        m = _TwoLayer()
+        state = m.state_dict()
+        state["first.weight"][...] = 0
+        assert m.first.weight.data.any()
+
+    def test_missing_key_raises(self):
+        m = _TwoLayer()
+        state = m.state_dict()
+        del state["first.bias"]
+        with pytest.raises(KeyError, match="missing"):
+            m.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        m = _TwoLayer()
+        state = m.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError, match="unexpected"):
+            m.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        m = _TwoLayer()
+        state = m.state_dict()
+        state["first.weight"] = np.zeros((2, 2), dtype=np.float32)
+        with pytest.raises(ValueError, match="shape"):
+            m.load_state_dict(state)
+
+    def test_buffers_included(self):
+        bn = BatchNorm1d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+
+class TestHooks:
+    def test_forward_hook_can_replace_output(self):
+        m = Dense(2, 2, rng=0)
+        handle = m.register_forward_hook(lambda mod, inp, out: out * 0)
+        out = m(Tensor(np.ones((1, 2), dtype=np.float32)))
+        assert np.allclose(out.data, 0)
+        handle.remove()
+        out = m(Tensor(np.ones((1, 2), dtype=np.float32)))
+        assert out.data.any()
+
+    def test_pre_hook_can_replace_inputs(self):
+        m = Dense(2, 2, rng=0)
+        baseline = m(Tensor(np.zeros((1, 2), dtype=np.float32))).data.copy()
+        handle = m.register_forward_pre_hook(
+            lambda mod, inputs: (Tensor(np.zeros((1, 2), dtype=np.float32)),)
+        )
+        out = m(Tensor(np.full((1, 2), 7.0, dtype=np.float32)))
+        assert np.allclose(out.data, baseline)
+        handle.remove()
+
+    def test_hook_handle_context_manager(self):
+        m = Dense(2, 2, rng=0)
+        with m.register_forward_hook(lambda mod, inp, out: out * 0):
+            assert np.allclose(m(Tensor(np.ones((1, 2), dtype=np.float32))).data, 0)
+        assert m(Tensor(np.ones((1, 2), dtype=np.float32))).data.any()
+
+    def test_hook_returning_none_keeps_output(self):
+        m = Dense(2, 2, rng=0)
+        seen = []
+        with m.register_forward_hook(lambda mod, inp, out: seen.append(out.shape)):
+            out = m(Tensor(np.ones((3, 2), dtype=np.float32)))
+        assert seen == [(3, 2)]
+        assert out.shape == (3, 2)
+
+    def test_multiple_hooks_run_in_order(self):
+        m = Dense(2, 2, rng=0)
+        order = []
+        m.register_forward_hook(lambda *a: order.append("a"))
+        m.register_forward_hook(lambda *a: order.append("b"))
+        m(Tensor(np.ones((1, 2), dtype=np.float32)))
+        assert order == ["a", "b"]

@@ -1,0 +1,152 @@
+"""Differentiable programs: behaviour and BDLFI integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import BayesianFaultInjector
+from repro.faults import TargetSpec
+from repro.programs import (
+    FIRDetector,
+    PIDController,
+    PolynomialClassifier,
+    make_filter_dataset,
+    make_pid_dataset,
+    make_polynomial_dataset,
+)
+from repro.tensor import Tensor, no_grad
+
+
+class TestPIDController:
+    def test_default_gains_settle_typical_setpoints(self):
+        pid = PIDController()
+        x, labels = make_pid_dataset(pid, n=40, rng=0)
+        assert (labels == 0).mean() > 0.8  # mostly within spec
+
+    def test_zero_gains_fail_spec(self):
+        pid = PIDController(kp=0.0, ki=0.0, kd=0.0)
+        setpoints = np.full((8, 1), 1.0, dtype=np.float32)
+        with no_grad():
+            logits = pid(Tensor(setpoints))
+        assert (logits.data.argmax(axis=1) == 1).all()  # no control -> out of spec
+
+    def test_differentiable_in_gains(self):
+        pid = PIDController()
+        setpoints = Tensor(np.full((4, 1), 1.0, dtype=np.float32))
+        error = pid.simulate(setpoints).sum()
+        error.backward()
+        assert pid.kp.grad is not None
+        assert np.isfinite(pid.kp.grad).all()
+
+    def test_parameters_are_fault_targets(self):
+        pid = PIDController()
+        names = {name for name, _ in pid.named_parameters()}
+        assert names == {"kp", "ki", "kd"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PIDController(horizon=2)
+        with pytest.raises(ValueError):
+            PIDController(dt=0.0)
+        with pytest.raises(ValueError):
+            make_pid_dataset(PIDController(), n=0)
+        with pytest.raises(ValueError):
+            make_pid_dataset(PIDController(), setpoint_range=(2.0, 1.0))
+
+
+class TestFIRDetector:
+    def test_dataset_has_both_classes(self):
+        detector = FIRDetector()
+        _, labels = make_filter_dataset(detector, n=80, rng=1)
+        assert 0 < (labels == 0).mean() < 1
+
+    def test_filtered_length(self):
+        detector = FIRDetector(n_taps=5)
+        signals = Tensor(np.zeros((2, 20), dtype=np.float32))
+        assert detector.filtered(signals).shape == (2, 16)
+
+    def test_lowpass_attenuates_noise_energy(self):
+        detector = FIRDetector(n_taps=9)
+        rng = np.random.default_rng(0)
+        noise = Tensor(rng.normal(0, 1, size=(4, 64)).astype(np.float32))
+        with no_grad():
+            smoothed = detector.filtered(noise)
+        assert (smoothed.data**2).mean() < (noise.data**2).mean()
+
+    def test_short_signal_rejected(self):
+        detector = FIRDetector(n_taps=9)
+        with pytest.raises(ValueError):
+            detector.filtered(Tensor(np.zeros((1, 4), dtype=np.float32)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FIRDetector(n_taps=1)
+        with pytest.raises(ValueError):
+            make_filter_dataset(FIRDetector(), n=10, event_fraction=2.0)
+
+
+class TestPolynomialClassifier:
+    def test_sign_classification(self):
+        # p(x) = x: positive -> class 0, negative -> class 1.
+        poly = PolynomialClassifier([0.0, 1.0])
+        x = Tensor(np.asarray([[2.0], [-2.0]], dtype=np.float32))
+        with no_grad():
+            predictions = poly(x).data.argmax(axis=1)
+        assert predictions.tolist() == [0, 1]
+
+    def test_horner_matches_numpy_polyval(self):
+        coefficients = [0.5, -1.0, 0.25, 2.0]
+        poly = PolynomialClassifier(coefficients)
+        xs = np.linspace(-1.5, 1.5, 7).astype(np.float32)
+        with no_grad():
+            margins = poly(Tensor(xs.reshape(-1, 1))).data[:, 0]
+        expected = np.polyval(list(reversed(coefficients)), xs)
+        assert np.allclose(margins, expected, atol=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PolynomialClassifier([])
+        with pytest.raises(ValueError):
+            make_polynomial_dataset(PolynomialClassifier([1.0]), n=0)
+
+
+class TestBDLFIOnPrograms:
+    """The paper's generality claim: the whole pipeline runs unchanged."""
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: (lambda pid: (pid, *make_pid_dataset(pid, n=32, rng=0)))(PIDController()),
+            lambda: (lambda det: (det, *make_filter_dataset(det, n=48, rng=1)))(FIRDetector()),
+            lambda: (lambda poly: (poly, *make_polynomial_dataset(poly, n=64, rng=2)))(
+                PolynomialClassifier([0.5, -1.0, 0.0, 1.0])
+            ),
+        ],
+        ids=["pid", "fir", "polynomial"],
+    )
+    def test_campaigns_run_and_faults_degrade(self, build):
+        program, inputs, labels = build()
+        injector = BayesianFaultInjector(
+            program, inputs, labels, spec=TargetSpec.weights_and_biases(), seed=0
+        )
+        assert injector.golden_error == pytest.approx(0.0)  # labels ARE the golden verdicts
+        low = injector.forward_campaign(1e-5, samples=40)
+        high = injector.forward_campaign(3e-2, samples=40)
+        assert low.mean_error <= high.mean_error
+        assert high.mean_error > 0.0  # faults do corrupt program verdicts
+
+    def test_mcmc_campaign_on_program(self):
+        pid = PIDController()
+        inputs, labels = make_pid_dataset(pid, n=32, rng=0)
+        injector = BayesianFaultInjector(pid, inputs, labels, spec=TargetSpec.weights_and_biases(), seed=0)
+        campaign = injector.mcmc_campaign(1e-2, chains=2, steps=40)
+        assert campaign.completeness is not None
+
+    def test_sensitivity_on_program(self):
+        pid = PIDController()
+        inputs, labels = make_pid_dataset(pid, n=16, rng=0)
+        injector = BayesianFaultInjector(pid, inputs, labels, spec=TargetSpec.weights_and_biases(), seed=0)
+        from repro.sensitivity import TaylorSensitivity
+
+        sensitivity = TaylorSensitivity(pid, inputs, labels, injector.parameter_targets)
+        top = sensitivity.top_sites(3)
+        assert all(site.field == "exponent" for site in top)

@@ -1,0 +1,87 @@
+"""Margin-based runtime guard."""
+
+import numpy as np
+import pytest
+
+from repro.faults import BernoulliBitFlipModel, TargetSpec, resolve_parameter_targets
+from repro.protect import MarginGuard
+
+
+@pytest.fixture()
+def guard(trained_mlp):
+    return MarginGuard(trained_mlp)
+
+
+@pytest.fixture()
+def targets(trained_mlp):
+    return resolve_parameter_targets(trained_mlp, TargetSpec.weights_and_biases())
+
+
+class TestMargins:
+    def test_margins_nonnegative(self, guard, moons_eval):
+        eval_x, _ = moons_eval
+        margins = guard.margins(eval_x)
+        assert (margins >= 0).all()
+        assert margins.shape == (len(eval_x),)
+
+    def test_calibrate_hits_requested_fraction(self, guard, moons_eval):
+        eval_x, _ = moons_eval
+        threshold = guard.calibrate(eval_x, 0.2)
+        flagged = guard.flags(eval_x, threshold)
+        assert flagged.mean() == pytest.approx(0.2, abs=0.05)
+
+    def test_calibrate_validation(self, guard, moons_eval):
+        eval_x, _ = moons_eval
+        with pytest.raises(ValueError):
+            guard.calibrate(eval_x, 0.0)
+
+    def test_low_margin_points_near_boundary(self, guard, trained_mlp, moons_eval):
+        """Margin is the boundary-distance proxy: flagged two-moons points
+        must sit between the moons (|y - 0.25| small-ish on average)."""
+        eval_x, _ = moons_eval
+        threshold = guard.calibrate(eval_x, 0.15)
+        flagged = guard.flags(eval_x, threshold)
+        # The moons interleave around y ≈ 0.25; flagged points cluster there.
+        flagged_dist = np.abs(eval_x[flagged][:, 1] - 0.25).mean()
+        unflagged_dist = np.abs(eval_x[~flagged][:, 1] - 0.25).mean()
+        assert flagged_dist < unflagged_dist
+
+
+class TestGuardEvaluation:
+    def test_capture_exceeds_flag_fraction(self, guard, moons_eval, targets):
+        """The F1 effect: fault-induced flips concentrate on low-margin
+        inputs, so captured% must beat flagged% (better than random)."""
+        eval_x, _ = moons_eval
+        threshold = guard.calibrate(eval_x, 0.2)
+        # Small p: benign flips dominate, whose misclassifications are the
+        # near-boundary ones F1 describes. (At large p, severe flips corrupt
+        # predictions everywhere and the margin advantage shrinks.)
+        evaluation = guard.evaluate(
+            eval_x, threshold, BernoulliBitFlipModel(1e-4), targets,
+            samples=300, rng=np.random.default_rng(0),
+        )
+        assert evaluation.flagged_fraction == pytest.approx(0.2, abs=0.05)
+        assert evaluation.capture_fraction > evaluation.flagged_fraction + 0.05
+
+    def test_coverage_curve_monotone_in_budget(self, guard, moons_eval, targets):
+        eval_x, _ = moons_eval
+        curve = guard.coverage_curve(
+            eval_x, BernoulliBitFlipModel(1e-3), targets,
+            flag_fractions=(0.1, 0.4), samples=100, rng=1,
+        )
+        assert curve[0].flagged_fraction < curve[1].flagged_fraction
+        assert curve[0].capture_fraction <= curve[1].capture_fraction + 0.1
+
+    def test_summary_row(self, guard, moons_eval, targets):
+        eval_x, _ = moons_eval
+        evaluation = guard.evaluate(
+            eval_x, guard.calibrate(eval_x, 0.3), BernoulliBitFlipModel(1e-3),
+            targets, samples=30, rng=np.random.default_rng(2),
+        )
+        assert {"threshold", "flagged_%", "captured_%"} <= set(evaluation.summary_row())
+
+    def test_validation(self, guard, moons_eval, targets):
+        eval_x, _ = moons_eval
+        with pytest.raises(ValueError):
+            guard.evaluate(eval_x, 0.5, BernoulliBitFlipModel(1e-3), targets,
+                           samples=0, rng=np.random.default_rng(0))

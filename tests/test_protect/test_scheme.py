@@ -1,0 +1,105 @@
+"""Protection schemes and the protected fault model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bits import count_set_bits, field_mask
+from repro.faults import BernoulliBitFlipModel, FaultConfiguration, TargetSpec, resolve_parameter_targets
+from repro.nn import paper_mlp
+from repro.protect import ProtectedFaultModel, ProtectionScheme
+
+
+@pytest.fixture(scope="module")
+def targets():
+    return resolve_parameter_targets(paper_mlp(rng=0), TargetSpec.weights_and_biases())
+
+
+class TestProtectionScheme:
+    def test_none_protects_nothing(self, targets):
+        scheme = ProtectionScheme.none()
+        assert scheme.protected_lanes("anything") == frozenset()
+        assert scheme.overhead_bits(targets) == 0
+
+    def test_field_everywhere(self):
+        scheme = ProtectionScheme.field_everywhere("exponent")
+        lanes = scheme.protected_lanes("any.target")
+        assert lanes == frozenset(range(23, 31))
+
+    def test_full_protects_all(self, targets):
+        scheme = ProtectionScheme.full()
+        assert scheme.overhead_fraction(targets) == pytest.approx(1.0)
+
+    def test_specific_target_overrides_wildcard(self):
+        scheme = ProtectionScheme({"*": frozenset({31}), "layers.0.weight": frozenset({0, 1})})
+        assert scheme.protected_lanes("layers.0.weight") == frozenset({0, 1})
+        assert scheme.protected_lanes("layers.2.weight") == frozenset({31})
+
+    def test_protection_mask_bits(self):
+        scheme = ProtectionScheme.field_everywhere("sign")
+        assert int(scheme.protection_mask("x")) == int(field_mask("sign"))
+
+    def test_overhead_fraction(self, targets):
+        scheme = ProtectionScheme.field_everywhere("exponent")
+        assert scheme.overhead_fraction(targets) == pytest.approx(8 / 32)
+
+    def test_merged_with(self):
+        a = ProtectionScheme.field_everywhere("sign")
+        b = ProtectionScheme.field_everywhere("exponent")
+        merged = a.merged_with(b)
+        assert merged.protected_lanes("x") == frozenset(range(23, 32))
+
+    def test_invalid_lane_rejected(self):
+        with pytest.raises(ValueError):
+            ProtectionScheme({"w": frozenset({32})})
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            ProtectionScheme.none().overhead_fraction([])
+
+
+class TestProtectedFaultModel:
+    def test_protected_lanes_never_flip(self, targets, rng):
+        base = BernoulliBitFlipModel(0.5)
+        scheme = ProtectionScheme.field_everywhere("exponent")
+        model = ProtectedFaultModel(base, scheme)
+        mask = model.for_target("w").sample_mask((200,), rng)
+        assert not np.any(mask & np.uint32(int(field_mask("exponent"))))
+        assert count_set_bits(mask) > 0  # unprotected lanes still flip
+
+    def test_full_protection_yields_empty_masks(self, targets, rng):
+        model = ProtectedFaultModel(BernoulliBitFlipModel(0.9), ProtectionScheme.full())
+        mask = model.sample_mask((50,), rng)
+        assert count_set_bits(mask) == 0
+
+    def test_log_prob_minus_inf_on_protected_flip(self):
+        model = ProtectedFaultModel(
+            BernoulliBitFlipModel(0.5), ProtectionScheme.field_everywhere("sign")
+        )
+        forbidden = np.array([np.uint32(1) << np.uint32(31)], dtype=np.uint32)
+        assert model.log_prob_mask(forbidden) == -math.inf
+
+    def test_log_prob_delegates_for_allowed_masks(self):
+        base = BernoulliBitFlipModel(0.25)
+        model = ProtectedFaultModel(base, ProtectionScheme.field_everywhere("sign"))
+        allowed = np.array([0b111], dtype=np.uint32)
+        assert model.log_prob_mask(allowed) == pytest.approx(base.log_prob_mask(allowed))
+
+    def test_expected_flips_scaled_by_unprotected_lanes(self):
+        base = BernoulliBitFlipModel(0.01)
+        model = ProtectedFaultModel(base, ProtectionScheme.field_everywhere("exponent"))
+        assert model.expected_flips(100) == pytest.approx(100 * 24 * 0.01)
+
+    def test_for_target_binds_lane_set(self, rng):
+        scheme = ProtectionScheme({"a": frozenset(range(32)), "b": frozenset()})
+        model = ProtectedFaultModel(BernoulliBitFlipModel(0.9), scheme)
+        assert count_set_bits(model.for_target("a").sample_mask((20,), rng)) == 0
+        assert count_set_bits(model.for_target("b").sample_mask((20,), rng)) > 0
+
+    def test_configuration_sampling_respects_protection(self, targets, rng):
+        scheme = ProtectionScheme({"layers.0.weight": frozenset(range(32))})
+        model = ProtectedFaultModel(BernoulliBitFlipModel(0.3), scheme)
+        cfg = FaultConfiguration.sample(targets, model, rng)
+        assert cfg.flips_per_target()["layers.0.weight"] == 0
+        assert cfg.total_flips() > 0

@@ -1,0 +1,162 @@
+"""int8 quantisation and its fault model."""
+
+import numpy as np
+import pytest
+
+from repro.bits import count_set_bits
+from repro.quant import (
+    QuantizedBitFlipModel,
+    dequantize_tensor,
+    quantize_model,
+    quantize_tensor,
+)
+
+
+class TestQuantizeTensor:
+    def test_roundtrip_error_bounded_by_half_scale(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=1000).astype(np.float32)
+        codes, scale = quantize_tensor(values)
+        restored = dequantize_tensor(codes, scale)
+        assert np.abs(values - restored).max() <= scale / 2 + 1e-7
+
+    def test_peak_maps_to_127(self):
+        values = np.asarray([0.0, -2.0, 1.0], dtype=np.float32)
+        codes, scale = quantize_tensor(values)
+        assert scale == pytest.approx(2.0 / 127)
+        assert codes.min() == -127
+
+    def test_zero_tensor(self):
+        codes, scale = quantize_tensor(np.zeros(5, dtype=np.float32))
+        assert scale == 1.0
+        assert not codes.any()
+
+    def test_dequantize_validation(self):
+        with pytest.raises(TypeError):
+            dequantize_tensor(np.zeros(3, dtype=np.int32), 1.0)
+        with pytest.raises(ValueError):
+            dequantize_tensor(np.zeros(3, dtype=np.int8), 0.0)
+
+
+class TestQuantizeModel:
+    def test_accuracy_mostly_preserved(self, trained_mlp, moons_eval):
+        from repro.nn import paper_mlp
+        from repro.tensor import Tensor, no_grad
+        from repro.train.metrics import accuracy
+
+        eval_x, eval_y = moons_eval
+        model = paper_mlp(rng=0)
+        model.load_state_dict(trained_mlp.state_dict())
+        model.eval()
+        with no_grad():
+            before = accuracy(model(Tensor(eval_x)), eval_y)
+        report = quantize_model(model)
+        with no_grad():
+            after = accuracy(model(Tensor(eval_x)), eval_y)
+        assert after > before - 0.03  # int8 costs at most a few points
+        assert set(report.scales) == {n for n, _ in model.named_parameters()}
+        assert report.worst_roundtrip_error < max(report.scales.values())
+
+    def test_parameters_become_scale_multiples(self, trained_mlp):
+        from repro.nn import paper_mlp
+
+        model = paper_mlp(rng=0)
+        model.load_state_dict(trained_mlp.state_dict())
+        report = quantize_model(model)
+        for name, param in model.named_parameters():
+            ratios = param.data / np.float32(report.scales[name])
+            assert np.allclose(ratios, np.round(ratios), atol=1e-3)
+
+
+class TestQuantizedBitFlipModel:
+    @pytest.fixture()
+    def quantized_setup(self, trained_mlp):
+        from repro.nn import paper_mlp
+
+        model = paper_mlp(rng=0)
+        model.load_state_dict(trained_mlp.state_dict())
+        report = quantize_model(model)
+        return model.eval(), report
+
+    def test_mask_has_expected_flip_scale(self, quantized_setup, rng):
+        model, report = quantized_setup
+        fault_model = QuantizedBitFlipModel(0.05, report.scales).for_target("layers.0.weight")
+        param = model.get_parameter("layers.0.weight")
+        mask = fault_model.sample_mask_for(param.data, rng)
+        assert mask.shape == param.data.shape
+        assert count_set_bits(mask) > 0
+
+    def test_corruption_bounded_by_code_range(self, quantized_setup, rng):
+        """int8 faults cannot explode a value past 127·scale — the key
+        resilience difference from float32's exponent flips."""
+        from repro.bits import apply_bit_mask
+
+        model, report = quantized_setup
+        name = "layers.0.weight"
+        param = model.get_parameter(name)
+        fault_model = QuantizedBitFlipModel(0.2, report.scales).for_target(name)
+        # Two's-complement code range is [-128, 127]: a sign-bit flip of a
+        # small code can reach -128, so the reachable bound is 128·scale.
+        bound = 128 * report.scales[name] + 1e-6
+        for _ in range(10):
+            mask = fault_model.sample_mask_for(param.data, rng)
+            corrupted = apply_bit_mask(param.data, mask)
+            assert np.abs(corrupted).max() <= bound
+
+    def test_zero_p_gives_empty_mask(self, quantized_setup, rng):
+        model, report = quantized_setup
+        fault_model = QuantizedBitFlipModel(0.0, report.scales).for_target("layers.0.weight")
+        mask = fault_model.sample_mask_for(model.get_parameter("layers.0.weight").data, rng)
+        assert count_set_bits(mask) == 0
+
+    def test_sample_mask_without_values_rejected(self, quantized_setup, rng):
+        _, report = quantized_setup
+        fault_model = QuantizedBitFlipModel(0.1, report.scales)
+        with pytest.raises(NotImplementedError):
+            fault_model.sample_mask((3,), rng)
+
+    def test_expected_flips_uses_8_bits(self, quantized_setup):
+        _, report = quantized_setup
+        fault_model = QuantizedBitFlipModel(0.01, report.scales)
+        assert fault_model.expected_flips(100) == pytest.approx(8.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuantizedBitFlipModel(1.5, {"*": 1.0})
+        with pytest.raises(ValueError):
+            QuantizedBitFlipModel(0.1, {})
+        with pytest.raises(ValueError):
+            QuantizedBitFlipModel(0.1, {"w": 0.0})
+
+    def test_missing_scale_raises(self, rng):
+        fault_model = QuantizedBitFlipModel(0.1, {"a": 1.0}).for_target("b")
+        with pytest.raises(KeyError):
+            fault_model.sample_mask_for(np.zeros(3, dtype=np.float32), rng)
+
+
+class TestInt8Resilience:
+    def test_int8_more_resilient_than_float32_per_bit(self, trained_mlp, moons_eval):
+        """The A6 headline: at equal per-bit flip probability, int8 storage
+        degrades far less than float32 (no exponent bits to hit)."""
+        from repro.core import BayesianFaultInjector
+        from repro.faults import TargetSpec
+        from repro.nn import paper_mlp
+
+        eval_x, eval_y = moons_eval
+        p = 1e-3
+
+        float_injector = BayesianFaultInjector(
+            trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+        )
+        float_campaign = float_injector.forward_campaign(p, samples=150)
+
+        quantized = paper_mlp(rng=0)
+        quantized.load_state_dict(trained_mlp.state_dict())
+        report = quantize_model(quantized)
+        int8_injector = BayesianFaultInjector(
+            quantized.eval(), eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+        )
+        int8_campaign = int8_injector.forward_campaign(
+            p, samples=150, fault_model=QuantizedBitFlipModel(p, report.scales), stream="int8"
+        )
+        assert int8_campaign.posterior.excess_error < float_campaign.posterior.excess_error

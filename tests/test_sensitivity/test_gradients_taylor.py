@@ -1,0 +1,133 @@
+"""Gradient extraction and Taylor bit-impact prediction."""
+
+import numpy as np
+import pytest
+
+from repro.faults import TargetSpec, resolve_parameter_targets
+from repro.sensitivity import TaylorSensitivity, parameter_gradients
+from repro.sensitivity.taylor import _flip_deltas
+
+
+class TestParameterGradients:
+    def test_covers_every_parameter(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        gradients = parameter_gradients(trained_mlp, eval_x, eval_y)
+        names = {name for name, _ in trained_mlp.named_parameters()}
+        assert set(gradients) == names
+        for name, param in trained_mlp.named_parameters():
+            assert gradients[name].shape == param.data.shape
+
+    def test_does_not_disturb_model_state(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        before = {n: p.data.copy() for n, p in trained_mlp.named_parameters()}
+        grads_before = {n: p.grad for n, p in trained_mlp.named_parameters()}
+        was_training = trained_mlp.training
+        parameter_gradients(trained_mlp, eval_x, eval_y)
+        for name, param in trained_mlp.named_parameters():
+            assert np.array_equal(before[name], param.data)
+            assert param.grad is grads_before[name]
+        assert trained_mlp.training == was_training
+
+    def test_gradients_nonzero_for_imperfect_fit(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        gradients = parameter_gradients(trained_mlp, eval_x, eval_y)
+        total = sum(np.abs(g).sum() for g in gradients.values())
+        assert total > 0
+
+    def test_validation(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        with pytest.raises(ValueError):
+            parameter_gradients(trained_mlp, eval_x, eval_y[:-1])
+        with pytest.raises(ValueError):
+            parameter_gradients(trained_mlp, np.zeros((0, 2)), np.zeros(0))
+
+
+class TestFlipDeltas:
+    def test_shape(self):
+        deltas = _flip_deltas(np.asarray([1.0, -2.0], dtype=np.float32))
+        assert deltas.shape == (2, 32)
+
+    def test_known_deltas(self):
+        deltas = _flip_deltas(np.asarray([1.0], dtype=np.float32))
+        assert deltas[0, 31] == pytest.approx(-2.0)  # sign: 1 -> -1
+        assert deltas[0, 22] == pytest.approx(0.5)  # mantissa MSB: 1 -> 1.5
+        assert np.isinf(deltas[0, 30])  # exponent MSB: 1 -> inf
+
+    def test_mantissa_deltas_grow_with_lane(self):
+        deltas = np.abs(_flip_deltas(np.asarray([1.0], dtype=np.float32))[0, :23])
+        assert np.all(np.diff(deltas) > 0)
+
+
+class TestTaylorSensitivity:
+    @pytest.fixture()
+    def sensitivity(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        targets = resolve_parameter_targets(trained_mlp, TargetSpec.weights_and_biases())
+        return TaylorSensitivity(trained_mlp, eval_x, eval_y, targets)
+
+    def test_impacts_cover_targets(self, sensitivity):
+        for name, param in sensitivity.targets:
+            assert sensitivity.impacts[name].shape == (param.size, 32)
+
+    def test_top_sites_sorted_descending(self, sensitivity):
+        sites = sensitivity.top_sites(10)
+        assert len(sites) == 10
+        impacts = [s.predicted_impact for s in sites]
+        assert all(a >= b for a, b in zip(impacts, impacts[1:]))
+
+    def test_top_sites_are_catastrophic_first(self, sensitivity):
+        # The network holds weights < 2, so bit-30 flips are non-finite and
+        # must dominate the ranking.
+        top = sensitivity.top_sites(5)
+        assert all(np.isinf(s.predicted_impact) for s in top)
+        assert all(s.field == "exponent" for s in top)
+
+    def test_site_impact_lookup_consistent(self, sensitivity):
+        site = sensitivity.top_sites(1)[0]
+        assert sensitivity.site_impact(site.target, site.element_index, site.bit) == site.predicted_impact
+
+    def test_lane_profile_monotone_in_mantissa(self, sensitivity):
+        lanes = sensitivity.lane_profile()
+        mantissa = [lanes[b] for b in range(0, 23)]
+        assert all(a < b for a, b in zip(mantissa, mantissa[1:]))
+
+    def test_lane_profile_predicts_measured_ordering(self, trained_mlp, moons_eval, sensitivity):
+        """The analytic lane ranking must agree with exhaustive ground truth
+        (the validation claim of experiment A4)."""
+        from scipy import stats as sps
+
+        from repro.baselines import ExhaustiveBitInjector
+
+        eval_x, eval_y = moons_eval
+        injector = ExhaustiveBitInjector(
+            trained_mlp, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=0
+        )
+        measured = injector.run()
+        lanes = sensitivity.lane_profile()
+        finite_max = max(v for v in lanes.values() if np.isfinite(v))
+        predicted = [lanes[b] if np.isfinite(lanes[b]) else 10 * finite_max for b in range(32)]
+        observed = [measured.sdc_by_bit[b] + measured.due_by_bit[b] for b in range(32)]
+        result = sps.spearmanr(predicted, observed)
+        assert result.statistic > 0.6
+        assert result.pvalue < 1e-4
+
+    def test_catastrophic_counts_match_infinite_impacts(self, sensitivity):
+        counts = sensitivity.catastrophic_site_counts()
+        for name, impact in sensitivity.impacts.items():
+            assert counts[name] == int(np.isinf(impact).sum())
+
+    def test_layer_profile_keys(self, sensitivity):
+        profile = sensitivity.layer_profile()
+        assert set(profile) == {name for name, _ in sensitivity.targets}
+        assert all(v >= 0 for v in profile.values())
+
+    def test_validation(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        with pytest.raises(ValueError):
+            TaylorSensitivity(trained_mlp, eval_x, eval_y, [])
+        sens = TaylorSensitivity(
+            trained_mlp, eval_x, eval_y,
+            resolve_parameter_targets(trained_mlp, TargetSpec()),
+        )
+        with pytest.raises(ValueError):
+            sens.top_sites(0)

@@ -1,0 +1,141 @@
+"""Unit tests for Tensor construction, arithmetic, and the backward pass."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, no_grad, is_grad_enabled
+
+
+class TestConstruction:
+    def test_float_list_defaults_to_float32(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.dtype == np.float32
+
+    def test_explicit_float64_array_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_shape_size_ndim(self):
+        t = Tensor(np.zeros((2, 3, 4), dtype=np.float32))
+        assert t.shape == (2, 3, 4)
+        assert t.size == 24
+        assert t.ndim == 3
+
+    def test_item_on_scalar(self):
+        assert Tensor(np.float32(2.5)).item() == pytest.approx(2.5)
+
+    def test_detach_cuts_graph(self):
+        t = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        d = (t * 2).detach()
+        assert not d.requires_grad
+        assert np.array_equal(d.data, np.full(3, 2.0, dtype=np.float32))
+
+    def test_repr_mentions_grad(self):
+        t = Tensor(np.zeros(2), requires_grad=True)
+        assert "requires_grad=True" in repr(t)
+
+
+class TestArithmeticValues:
+    def test_add_sub_mul_div(self):
+        a = Tensor(np.array([2.0, 4.0], dtype=np.float32))
+        b = Tensor(np.array([1.0, 2.0], dtype=np.float32))
+        assert np.allclose((a + b).data, [3, 6])
+        assert np.allclose((a - b).data, [1, 2])
+        assert np.allclose((a * b).data, [2, 8])
+        assert np.allclose((a / b).data, [2, 2])
+
+    def test_scalar_operands(self):
+        a = Tensor(np.array([1.0, 2.0], dtype=np.float32))
+        assert np.allclose((a + 1).data, [2, 3])
+        assert np.allclose((1 + a).data, [2, 3])
+        assert np.allclose((3 - a).data, [2, 1])
+        assert np.allclose((2 / a).data, [2, 1])
+        assert np.allclose((-a).data, [-1, -2])
+
+    def test_pow_scalar_only(self):
+        a = Tensor(np.array([2.0, 3.0], dtype=np.float32))
+        assert np.allclose((a**2).data, [4, 9])
+        with pytest.raises(TypeError):
+            _ = a ** Tensor(np.array([2.0]))
+
+    def test_matmul_matrix_vector_shapes(self):
+        m = Tensor(np.ones((3, 4), dtype=np.float32))
+        v = Tensor(np.ones(4, dtype=np.float32))
+        assert (m @ v).shape == (3,)
+        assert (m @ Tensor(np.ones((4, 2), dtype=np.float32))).shape == (3, 2)
+
+
+class TestBackward:
+    def test_simple_chain(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        y = x * x + x  # dy/dx = 2x + 1 = 7
+        y.backward()
+        assert x.grad == pytest.approx(7.0)
+
+    def test_gradient_accumulates_over_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x * x  # x used three times; dy/dx = 3x² = 12
+        y.backward()
+        assert x.grad == pytest.approx(12.0)
+
+    def test_backward_requires_grad(self):
+        x = Tensor(np.array([1.0]))
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_backward_shape_mismatch_rejected(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward(np.ones(4))
+
+    def test_broadcast_add_unbroadcasts_gradient(self):
+        a = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (2, 3)
+        assert b.grad.shape == (3,)
+        assert np.allclose(b.grad, [2, 2, 2])  # summed over broadcast axis
+
+    def test_broadcast_scalar_like_shape(self):
+        a = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+        b = Tensor(np.array([[1.0]], dtype=np.float32), requires_grad=True)
+        (a * b).sum().backward()
+        assert b.grad.shape == (1, 1)
+        assert b.grad[0, 0] == pytest.approx(6.0)
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward()
+        assert x.grad == pytest.approx(1.0)
+
+    def test_zero_grad_resets(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2).backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestNoGrad:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+
+    def test_flag_restored_after_exception(self):
+        assert is_grad_enabled()
+        with pytest.raises(RuntimeError):
+            with no_grad():
+                raise RuntimeError("boom")
+        assert is_grad_enabled()
+
+    def test_nested_no_grad(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()

@@ -1,0 +1,86 @@
+"""Trainer loop and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader, gaussian_blobs
+from repro.nn import MLP
+from repro.train import Adam, CosineAnnealingLR, Trainer, load_checkpoint, save_checkpoint
+
+
+@pytest.fixture()
+def blob_loader():
+    x, y = gaussian_blobs(300, scale=0.3, rng=0)
+    return DataLoader(ArrayDataset(x, y), batch_size=32, shuffle=True, rng=1)
+
+
+class TestTrainer:
+    def test_loss_decreases(self, blob_loader):
+        model = MLP(2, (16,), 3, rng=0)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01))
+        result = trainer.fit(blob_loader, epochs=15)
+        assert result.train_loss[-1] < result.train_loss[0]
+        assert result.final_train_accuracy > 0.9
+
+    def test_validation_tracked(self, blob_loader):
+        x, y = gaussian_blobs(100, scale=0.3, rng=5)
+        val = DataLoader(ArrayDataset(x, y), batch_size=64)
+        model = MLP(2, (16,), 3, rng=0)
+        trainer = Trainer(model, Adam(model.parameters(), lr=0.01))
+        result = trainer.fit(blob_loader, epochs=5, val_loader=val)
+        assert len(result.val_accuracy) == 5
+        assert result.final_val_accuracy > 0.8
+
+    def test_schedule_applied(self, blob_loader):
+        model = MLP(2, (8,), 3, rng=0)
+        opt = Adam(model.parameters(), lr=0.05)
+        schedule = CosineAnnealingLR(opt, t_max=10)
+        Trainer(model, opt, schedule=schedule).fit(blob_loader, epochs=3)
+        assert opt.lr < 0.05  # epoch 2 of cosine decay
+
+    def test_invalid_epochs(self, blob_loader):
+        model = MLP(2, (8,), 3, rng=0)
+        with pytest.raises(ValueError):
+            Trainer(model, Adam(model.parameters())).fit(blob_loader, epochs=0)
+
+    def test_evaluate_runs_in_eval_mode(self, blob_loader):
+        model = MLP(2, (8,), 3, rng=0)
+        trainer = Trainer(model, Adam(model.parameters()))
+        trainer.evaluate(blob_loader)
+        assert model.training  # restored afterwards
+
+    def test_empty_loader_raises(self):
+        model = MLP(2, (8,), 3, rng=0)
+        empty = DataLoader(ArrayDataset(np.zeros((0, 2)), np.zeros(0)), batch_size=4)
+        with pytest.raises(ValueError):
+            Trainer(model, Adam(model.parameters())).fit(empty, epochs=1)
+
+
+class TestCheckpoint:
+    def test_roundtrip_with_metadata(self, tmp_path):
+        model = MLP(2, (8,), 3, rng=0)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(model, path, accuracy=0.97, epoch=12, note="golden")
+        fresh = MLP(2, (8,), 3, rng=99)
+        metadata = load_checkpoint(fresh, path)
+        assert metadata == {"accuracy": 0.97, "epoch": 12, "note": "golden"}
+        for (_, a), (_, b) in zip(model.named_parameters(), fresh.named_parameters()):
+            assert np.array_equal(a.data, b.data)
+
+    def test_creates_directories(self, tmp_path):
+        model = MLP(2, (4,), 2, rng=0)
+        path = str(tmp_path / "deep" / "nest" / "ckpt.npz")
+        save_checkpoint(model, path)
+        load_checkpoint(MLP(2, (4,), 2, rng=1), path)
+
+    def test_slash_in_metadata_key_rejected(self, tmp_path):
+        model = MLP(2, (4,), 2, rng=0)
+        with pytest.raises(ValueError):
+            save_checkpoint(model, str(tmp_path / "x.npz"), **{"bad/key": 1})
+
+    def test_wrong_architecture_rejected(self, tmp_path):
+        model = MLP(2, (8,), 3, rng=0)
+        path = str(tmp_path / "ckpt.npz")
+        save_checkpoint(model, path)
+        with pytest.raises((KeyError, ValueError)):
+            load_checkpoint(MLP(2, (16,), 3, rng=0), path)

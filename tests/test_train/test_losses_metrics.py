@@ -1,0 +1,88 @@
+"""Losses and classification metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor
+from repro.train import CrossEntropyLoss, MSELoss, accuracy, classification_error, confusion_matrix
+from repro.train.metrics import top_k_accuracy
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_k(self):
+        loss = CrossEntropyLoss()
+        logits = Tensor(np.zeros((4, 10), dtype=np.float32))
+        value = loss(logits, np.zeros(4, dtype=np.int64)).item()
+        assert value == pytest.approx(math.log(10), rel=1e-5)
+
+    def test_confident_correct_logits_near_zero(self):
+        loss = CrossEntropyLoss()
+        logits = np.full((2, 3), -50.0, dtype=np.float32)
+        logits[:, 1] = 50.0
+        value = loss(Tensor(logits), np.array([1, 1])).item()
+        assert value < 1e-4
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        loss = CrossEntropyLoss()
+        logits = Tensor(np.random.default_rng(0).normal(size=(3, 4)).astype(np.float32), requires_grad=True)
+        loss(logits, np.array([0, 1, 2])).backward()
+        soft = np.exp(logits.data - logits.data.max(1, keepdims=True))
+        soft /= soft.sum(1, keepdims=True)
+        onehot = np.zeros((3, 4))
+        onehot[np.arange(3), [0, 1, 2]] = 1
+        assert np.allclose(logits.grad, (soft - onehot) / 3, atol=1e-5)
+
+    def test_label_validation(self):
+        loss = CrossEntropyLoss()
+        logits = Tensor(np.zeros((2, 3), dtype=np.float32))
+        with pytest.raises(ValueError, match="out of range"):
+            loss(logits, np.array([0, 3]))
+        with pytest.raises(ValueError, match="batch"):
+            loss(logits, np.array([0]))
+        with pytest.raises(ValueError, match="2-D"):
+            loss(Tensor(np.zeros(3, dtype=np.float32)), np.array([0, 1, 2]))
+
+
+class TestMSE:
+    def test_value(self):
+        loss = MSELoss()
+        pred = Tensor(np.array([1.0, 2.0], dtype=np.float32))
+        assert loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MSELoss()(Tensor(np.zeros(2, dtype=np.float32)), np.zeros(3))
+
+
+class TestMetrics:
+    def test_accuracy_and_error_complement(self):
+        logits = np.array([[2.0, 1.0], [0.0, 5.0], [3.0, 0.0]])
+        labels = np.array([0, 1, 1])
+        assert accuracy(logits, labels) == pytest.approx(2 / 3)
+        assert classification_error(logits, labels) == pytest.approx(1 / 3)
+
+    def test_accuracy_accepts_tensor(self):
+        logits = Tensor(np.array([[1.0, 0.0]], dtype=np.float32))
+        assert accuracy(logits, np.array([0])) == 1.0
+
+    def test_batch_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros((2, 3)), np.zeros(3, dtype=np.int64))
+
+    def test_top_k(self):
+        logits = np.array([[0.1, 0.5, 0.4], [0.9, 0.06, 0.04]])
+        labels = np.array([2, 2])
+        assert top_k_accuracy(logits, labels, k=1) == 0.0
+        assert top_k_accuracy(logits, labels, k=2) == pytest.approx(0.5)
+        assert top_k_accuracy(logits, labels, k=3) == 1.0
+        with pytest.raises(ValueError):
+            top_k_accuracy(logits, labels, k=4)
+
+    def test_confusion_matrix(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        labels = np.array([0, 1, 1])
+        matrix = confusion_matrix(logits, labels, 2)
+        assert np.array_equal(matrix, [[1, 0], [1, 1]])
+        assert matrix.sum() == 3

@@ -1,0 +1,94 @@
+"""Utility layer: RNG factory, logging, timing."""
+
+import logging
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import RngFactory, Timer, as_generator, get_logger, spawn_generators
+from repro.utils.logging import set_verbosity
+
+
+class TestAsGenerator:
+    def test_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_deterministic(self):
+        assert as_generator(5).random() == as_generator(5).random()
+
+    def test_none_allowed(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawn:
+    def test_count_and_independence(self):
+        gens = spawn_generators(0, 3)
+        assert len(gens) == 3
+        draws = [g.random() for g in gens]
+        assert len(set(draws)) == 3
+
+    def test_deterministic(self):
+        a = [g.random() for g in spawn_generators(9, 2)]
+        b = [g.random() for g in spawn_generators(9, 2)]
+        assert a == b
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestRngFactory:
+    def test_same_name_same_stream(self):
+        factory = RngFactory(1)
+        assert factory.stream("x").random() == factory.stream("x").random()
+
+    def test_different_names_differ(self):
+        factory = RngFactory(1)
+        assert factory.stream("x").random() != factory.stream("y").random()
+
+    def test_different_roots_differ(self):
+        assert RngFactory(1).stream("x").random() != RngFactory(2).stream("x").random()
+
+    def test_child_independent(self):
+        factory = RngFactory(3)
+        child = factory.child("sub")
+        assert child.stream("x").random() != factory.stream("x").random()
+
+    def test_root_seed_property_and_repr(self):
+        factory = RngFactory(42)
+        assert factory.root_seed == 42
+        assert "42" in repr(factory)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TypeError):
+            RngFactory("seed")
+
+
+class TestLogging:
+    def test_namespaced_logger(self):
+        logger = get_logger("mcmc")
+        assert logger.name == "repro.mcmc"
+
+    def test_already_prefixed(self):
+        assert get_logger("repro.core").name == "repro.core"
+
+    def test_set_verbosity(self):
+        set_verbosity("DEBUG")
+        assert logging.getLogger("repro").level == logging.DEBUG
+        set_verbosity("WARNING")
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+
+    def test_restart(self):
+        timer = Timer()
+        with timer:
+            pass
+        timer.restart()
+        assert timer.elapsed == 0.0
