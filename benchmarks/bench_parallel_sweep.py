@@ -1,0 +1,112 @@
+"""Experiment E-PAR — parallel campaign execution: speedup and determinism.
+
+Runs the paper's 13-point probability sweep over the two-moons MLP twice —
+once sequentially (workers=1) and once fanned over a 4-worker process pool —
+and verifies both halves of the executor contract:
+
+* determinism: every campaign statistic is bit-identical between the two
+  runs (randomness is keyed by (seed, stream, p), never by execution order);
+* throughput: on a host with >= 4 cores the parallel sweep is at least
+  2x faster wall-clock than the sequential one.
+
+The speedup assertion is skipped on smaller hosts where a process pool
+cannot physically beat the sequential path.
+"""
+
+import functools
+import os
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import BayesianFaultInjector, ProbabilitySweep
+from repro.exec import InjectorRecipe, ParallelCampaignExecutor
+from repro.faults import TargetSpec
+from repro.nn import paper_mlp
+
+P_VALUES = tuple(np.logspace(-5, -1, 13))
+SAMPLES_PER_POINT = 120
+WORKERS = 4
+
+
+def test_parallel_sweep_speedup_and_determinism(
+    benchmark, golden_mlp_moons, moons_eval_batch, results_writer
+):
+    eval_x, eval_y = moons_eval_batch
+
+    def make_injector():
+        return BayesianFaultInjector(
+            golden_mlp_moons,
+            eval_x,
+            eval_y,
+            spec=TargetSpec.weights_and_biases(),
+            seed=2019,
+        )
+
+    recipe = InjectorRecipe.from_model(
+        golden_mlp_moons,
+        eval_x,
+        eval_y,
+        spec=TargetSpec.weights_and_biases(),
+        seed=2019,
+        model_builder=functools.partial(paper_mlp, rng=0),
+    )
+
+    def timed_sweep(workers):
+        executor = ParallelCampaignExecutor(recipe, workers=workers)
+        started = time.perf_counter()
+        sweep = ProbabilitySweep(
+            make_injector(),
+            p_values=P_VALUES,
+            samples=SAMPLES_PER_POINT,
+            chains=2,
+            executor=executor,
+        ).run()
+        return sweep, time.perf_counter() - started, executor.stats
+
+    sequential, sequential_s, _ = timed_sweep(workers=1)
+    parallel, parallel_s, stats = benchmark.pedantic(
+        lambda: timed_sweep(workers=WORKERS), rounds=1, iterations=1
+    )
+    speedup = sequential_s / parallel_s
+
+    print(f"\n=== Parallel sweep: workers={WORKERS} vs workers=1 ===")
+    print(format_table(parallel.table()))
+    print(
+        f"\nsequential {sequential_s:.2f}s, parallel {parallel_s:.2f}s "
+        f"-> speedup {speedup:.2f}x on {os.cpu_count()} cores "
+        f"(tasks={stats.tasks}, retries={stats.retries}, crashes={stats.crashes})"
+    )
+
+    results_writer.write(
+        "EPAR_parallel_sweep",
+        {
+            "p_values": np.asarray(P_VALUES),
+            "error": parallel.errors(),
+            "sequential_s": sequential_s,
+            "parallel_s": parallel_s,
+            "speedup": speedup,
+            "workers": WORKERS,
+            "cpu_count": os.cpu_count(),
+        },
+    )
+
+    # Determinism holds on any host: parallel == sequential, bitwise.
+    for seq_pt, par_pt in zip(sequential.points, parallel.points):
+        seq_row = seq_pt.campaign.summary_row()
+        par_row = par_pt.campaign.summary_row()
+        seq_row.pop("duration_s")
+        par_row.pop("duration_s")
+        assert seq_row == par_row
+        assert np.array_equal(
+            seq_pt.campaign.chains.matrix(), par_pt.campaign.chains.matrix()
+        )
+
+    assert stats.parallel and stats.tasks == len(P_VALUES)
+
+    # The speedup claim needs real cores behind the pool.
+    if (os.cpu_count() or 1) >= WORKERS:
+        assert speedup >= 2.0, f"expected >=2x speedup at {WORKERS} workers, got {speedup:.2f}x"
+    else:
+        print(f"(speedup assertion skipped: only {os.cpu_count()} cores available)")

@@ -41,8 +41,13 @@ def _train_or_load(name: str, build, train_fn) -> tuple:
     path = os.path.join(ARTIFACTS, f"{name}.npz")
     model = build()
     if os.path.exists(path):
-        metadata = load_checkpoint(model, path)
-        return model.eval(), metadata
+        try:
+            metadata = load_checkpoint(model, path)
+            return model.eval(), metadata
+        except Exception:
+            # A truncated or otherwise unreadable checkpoint is a cache
+            # miss, not a fatal error — retrain and overwrite it.
+            os.remove(path)
     accuracy = train_fn(model)
     save_checkpoint(model, path, accuracy=accuracy)
     return model.eval(), {"accuracy": accuracy}

@@ -42,13 +42,32 @@ Quickstart::
 """
 
 from repro.core.injector import BayesianFaultInjector
+from repro.exec.executor import InjectorRecipe, ParallelCampaignExecutor
+from repro.exec.specs import (
+    AdaptiveSpec,
+    CampaignSpec,
+    ForwardSpec,
+    McmcSpec,
+    StratifiedSpec,
+    TemperedSpec,
+    TemperingSpec,
+)
 from repro.faults.targets import FaultSurface, TargetSpec
 from repro.faults.bernoulli import BernoulliBitFlipModel
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BayesianFaultInjector",
+    "CampaignSpec",
+    "ForwardSpec",
+    "McmcSpec",
+    "TemperedSpec",
+    "TemperingSpec",
+    "AdaptiveSpec",
+    "StratifiedSpec",
+    "InjectorRecipe",
+    "ParallelCampaignExecutor",
     "FaultSurface",
     "TargetSpec",
     "BernoulliBitFlipModel",

@@ -6,9 +6,13 @@ Usage (after ``pip install -e .``):
 
    python -m repro train mlp-moons --out golden.npz
    python -m repro campaign golden.npz --workbench mlp-moons --p 1e-3
-   python -m repro sweep golden.npz --workbench mlp-moons
-   python -m repro layerwise golden.npz --workbench mlp-moons --p 5e-3
+   python -m repro sweep golden.npz --workbench mlp-moons --workers 4
+   python -m repro layerwise golden.npz --workbench mlp-moons --p 5e-3 --workers 4
    python -m repro boundary golden.npz --workbench mlp-moons
+
+``--workers N`` (campaign/sweep/layerwise) fans the independent campaigns
+out over N worker processes; results are bit-identical to ``--workers 1``
+because every campaign draws only named, seed-derived RNG streams.
 
 A *workbench* bundles a model architecture with its matched dataset, both
 reproducible from seeds, so a checkpoint plus a workbench name fully
@@ -21,6 +25,7 @@ Fig. 1 MLP on two-moons), ``mlp-images`` (small image MLP, Fig. 2 setup),
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from dataclasses import dataclass
 from typing import Callable
@@ -30,13 +35,21 @@ import numpy as np
 from repro.analysis import format_table, heatmap, line_plot
 from repro.core import BayesianFaultInjector, DecisionBoundaryAnalysis, LayerwiseCampaign, ProbabilitySweep
 from repro.data import ArrayDataset, DataLoader, SyntheticImageConfig, make_synthetic_images, two_moons
+from repro.exec import (
+    AdaptiveSpec,
+    ForwardSpec,
+    InjectorRecipe,
+    McmcSpec,
+    ParallelCampaignExecutor,
+    TemperingSpec,
+)
 from repro.faults import BernoulliBitFlipModel, TargetSpec
 from repro.nn import LeNet, MLP, paper_mlp
 from repro.nn.models import resnet18_cifar_small
 from repro.nn.module import Module
 from repro.train import Adam, Trainer, load_checkpoint, save_checkpoint
 
-__all__ = ["main", "build_parser", "WORKBENCHES", "Workbench"]
+__all__ = ["main", "build_parser", "WORKBENCHES", "Workbench", "build_workbench_model"]
 
 
 @dataclass(frozen=True)
@@ -112,7 +125,17 @@ def _load_workbench(name: str) -> Workbench:
     return WORKBENCHES[name]
 
 
-def _injector_from_args(args) -> BayesianFaultInjector:
+def build_workbench_model(name: str) -> Module:
+    """Construct a workbench's (untrained) architecture by name.
+
+    Module-level so ``functools.partial(build_workbench_model, name)`` is a
+    picklable model builder for shipping campaigns to worker processes.
+    """
+    return _load_workbench(name).build_model()
+
+
+def _campaign_setup(args) -> tuple[BayesianFaultInjector, InjectorRecipe]:
+    """(injector, worker recipe) for the golden checkpoint named by ``args``."""
     workbench = _load_workbench(args.workbench)
     model = workbench.build_model()
     load_checkpoint(model, args.checkpoint)
@@ -120,7 +143,17 @@ def _injector_from_args(args) -> BayesianFaultInjector:
     features, labels = evaluation.arrays()
     features, labels = features[: args.eval_size], labels[: args.eval_size]
     spec = TargetSpec.weights_and_biases() if args.include_biases else TargetSpec()
-    return BayesianFaultInjector(model, features, labels, spec=spec, seed=args.seed)
+    injector = BayesianFaultInjector(model, features, labels, spec=spec, seed=args.seed)
+    recipe = InjectorRecipe.from_model(
+        model, features, labels, spec=spec, seed=args.seed,
+        model_builder=functools.partial(build_workbench_model, args.workbench),
+    )
+    return injector, recipe
+
+
+def _injector_from_args(args) -> BayesianFaultInjector:
+    injector, _ = _campaign_setup(args)
+    return injector
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -152,17 +185,26 @@ def _cmd_train(args) -> int:
     return 0
 
 
-def _cmd_campaign(args) -> int:
-    injector = _injector_from_args(args)
-    print(f"golden error: {injector.golden_error:.2%}")
+def _campaign_spec_from_args(args):
+    steps = max(4, args.samples // args.chains)
     if args.method == "forward":
-        campaign = injector.forward_campaign(args.p, samples=args.samples, chains=args.chains)
-    elif args.method == "mcmc":
-        campaign = injector.mcmc_campaign(args.p, chains=args.chains, steps=max(4, args.samples // args.chains))
-    elif args.method == "tempering":
-        campaign = injector.parallel_tempering_campaign(args.p, chains=args.chains, sweeps=max(4, args.samples // args.chains))
+        return ForwardSpec(p=args.p, samples=args.samples, chains=args.chains)
+    if args.method == "mcmc":
+        return McmcSpec(p=args.p, chains=args.chains, steps=steps)
+    if args.method == "tempering":
+        return TemperingSpec(p=args.p, chains=args.chains, sweeps=steps)
+    return AdaptiveSpec(p=args.p, chains=args.chains, max_steps=args.samples)
+
+
+def _cmd_campaign(args) -> int:
+    injector, recipe = _campaign_setup(args)
+    print(f"golden error: {injector.golden_error:.2%}")
+    spec = _campaign_spec_from_args(args)
+    if args.workers > 1:
+        executor = ParallelCampaignExecutor(recipe, workers=args.workers)
+        campaign = executor.run([spec])[0]
     else:
-        campaign = injector.run_until_complete(args.p, chains=args.chains, max_steps=args.samples)
+        campaign = injector.run(spec)
     print(campaign)
     print(format_table([campaign.summary_row()]))
     if campaign.completeness is not None:
@@ -171,9 +213,14 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_sweep(args) -> int:
-    injector = _injector_from_args(args)
+    injector, recipe = _campaign_setup(args)
     p_values = tuple(np.logspace(np.log10(args.p_min), np.log10(args.p_max), args.points))
-    sweep = ProbabilitySweep(injector, p_values=p_values, samples=args.samples, chains=args.chains).run()
+    executor = None
+    if args.workers > 1:
+        executor = ParallelCampaignExecutor(recipe, workers=args.workers)
+    sweep = ProbabilitySweep(
+        injector, p_values=p_values, samples=args.samples, chains=args.chains, executor=executor
+    ).run()
     print(format_table(sweep.table()))
     print()
     print(
@@ -194,9 +241,14 @@ def _cmd_layerwise(args) -> int:
     load_checkpoint(model, args.checkpoint)
     _, evaluation = workbench.build_data(args.train_size, args.eval_size)
     features, labels = evaluation.arrays()
+    executor = None
+    if args.workers > 1:
+        executor = ParallelCampaignExecutor(workers=args.workers)
     campaign = LayerwiseCampaign(
         model, features[: args.eval_size], labels[: args.eval_size],
         p=args.p, samples=args.samples, chains=1, seed=args.seed,
+        executor=executor,
+        model_builder=functools.partial(build_workbench_model, args.workbench),
     ).run()
     print(format_table(campaign.table(), columns=["depth", "layer", "error_pct", "parameters"]))
     stats = campaign.depth_correlation()
@@ -275,6 +327,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--method", choices=("forward", "mcmc", "adaptive", "tempering"), default="forward"
     )
+    campaign.add_argument(
+        "--workers", type=int, default=1, help="worker processes for campaign execution"
+    )
     campaign.set_defaults(handler=_cmd_campaign)
 
     sweep = subparsers.add_parser("sweep", help="error vs flip-probability sweep (Figs. 2/4)")
@@ -284,12 +339,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--points", type=int, default=9)
     sweep.add_argument("--samples", type=int, default=100)
     sweep.add_argument("--chains", type=int, default=2)
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; one campaign per sweep point fans out over the pool",
+    )
     sweep.set_defaults(handler=_cmd_sweep)
 
     layerwise = subparsers.add_parser("layerwise", help="per-layer campaign (Fig. 3)")
     _add_common(layerwise)
     layerwise.add_argument("--p", type=float, default=1e-3)
     layerwise.add_argument("--samples", type=int, default=50)
+    layerwise.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes; one campaign per layer fans out over the pool",
+    )
     layerwise.set_defaults(handler=_cmd_layerwise)
 
     assess = subparsers.add_parser("assess", help="full resilience assessment report")

@@ -115,21 +115,39 @@ def assess_model(
     outcome_samples: int = 150,
     layerwise_samples: int = 30,
     include_layerwise: bool = True,
+    workers: int = 1,
+    model_builder=None,
 ) -> ResilienceAssessment:
     """Run the full assessment battery; see module docstring.
 
     The flip-probability grid defaults to the paper's 1e-5 … 1e-1 range;
     pass a custom grid for networks whose knee lies elsewhere (knee
     position scales roughly as 1/#parameters — see EXPERIMENTS.md E4).
+
+    ``workers > 1`` fans the sweep and layerwise campaigns out over a
+    :class:`~repro.exec.executor.ParallelCampaignExecutor` — results are
+    bit-identical to the sequential battery. ``model_builder`` (a picklable
+    zero-argument architecture constructor) switches worker transport from
+    embedded-model to builder + golden checkpoint.
     """
     spec = spec or TargetSpec.weights_and_biases()
     injector = BayesianFaultInjector(model, inputs, labels, spec=spec, seed=seed)
+
+    executor = None
+    if workers > 1:
+        from repro.exec.executor import InjectorRecipe, ParallelCampaignExecutor
+
+        recipe = InjectorRecipe.from_model(
+            model, inputs, labels, spec=spec, seed=seed, model_builder=model_builder
+        )
+        executor = ParallelCampaignExecutor(recipe, workers=workers)
 
     sweep = ProbabilitySweep(
         injector,
         p_values=p_values or tuple(np.logspace(-5, -1, 9)),
         samples=samples_per_point,
         chains=2,
+        executor=executor,
     ).run()
     regimes = sweep.fit_regimes(truncate_saturation=True)
     knee_p = float(np.clip(regimes.knee_p, sweep.p_values[0], sweep.p_values[-1]))
@@ -162,7 +180,8 @@ def assess_model(
     depth_correlation: dict[str, float] = {}
     if include_layerwise and len(parameterised_layers(model)) >= 2:
         layerwise = LayerwiseCampaign(
-            model, inputs, labels, p=knee_p, samples=layerwise_samples, chains=1, seed=seed
+            model, inputs, labels, p=knee_p, samples=layerwise_samples, chains=1, seed=seed,
+            executor=executor, model_builder=model_builder,
         ).run()
         layer_table = layerwise.table()
         depth_correlation = layerwise.depth_correlation()

@@ -30,6 +30,8 @@ class CampaignResult:
     seed: int
     completeness: CompletenessReport | None = None
     discard_fraction: float = 0.0
+    #: wall-clock seconds the campaign took (stamped by ``BayesianFaultInjector.run``)
+    duration_s: float = 0.0
 
     @property
     def mean_error(self) -> float:
@@ -45,6 +47,13 @@ class CampaignResult:
         """Forward-pass budget consumed (one evaluation per recorded step)."""
         return len(self.chains) * self.chains.steps
 
+    @property
+    def evaluations_per_second(self) -> float:
+        """Campaign throughput; ``inf`` when no duration was recorded."""
+        if self.duration_s <= 0.0:
+            return float("inf")
+        return self.total_evaluations / self.duration_s
+
     def summary_row(self) -> dict[str, float | str]:
         """Flat dict for table rendering in benches and reports."""
         lo, hi = self.posterior.credible_interval()
@@ -57,6 +66,7 @@ class CampaignResult:
             "mean_flips": self.mean_flips,
             "method": self.method,
             "evaluations": self.total_evaluations,
+            "duration_s": self.duration_s,
         }
         if self.completeness is not None:
             row["r_hat"] = self.completeness.r_hat
@@ -78,6 +88,7 @@ class CampaignResult:
             "flips": [chain.flips.tolist() for chain in self.chains.chains],
             "seed": self.seed,
             "discard_fraction": self.discard_fraction,
+            "duration_s": self.duration_s,
         }
         if self.completeness is not None:
             record["completeness"] = {

@@ -13,6 +13,12 @@ procedures:
 * :meth:`tempered_campaign` — failure-biased MCMC with importance
   reweighting for rare-event regimes (advantage #2).
 
+Every procedure is also available declaratively: build a
+:class:`~repro.exec.specs.CampaignSpec` and hand it to :meth:`run`, the
+single dispatcher all the keyword-argument methods above are thin wrappers
+over. Specs are what the :class:`~repro.exec.executor.ParallelCampaignExecutor`
+fans out over worker pools.
+
 The *statistic* pushed through every sampler is the classification error of
 the faulted network on the evaluation batch, evaluated in eval mode under
 ``no_grad``. Weight/bias faults are applied via XOR masks (the MCMC state);
@@ -23,10 +29,20 @@ through hooks when the target spec selects those surfaces.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 
 import numpy as np
 
 from repro.core.campaign import CampaignResult
+from repro.exec.specs import (
+    AdaptiveSpec,
+    CampaignSpec,
+    ForwardSpec,
+    McmcSpec,
+    StratifiedSpec,
+    TemperedSpec,
+    TemperingSpec,
+)
 from repro.core.posterior import ErrorPosterior
 from repro.faults.bernoulli import BernoulliBitFlipModel
 from repro.faults.configuration import FaultConfiguration
@@ -49,6 +65,7 @@ from repro.tensor.tensor import Tensor, no_grad
 from repro.train.metrics import classification_error
 from repro.utils.logging import get_logger
 from repro.utils.rng import RngFactory
+from repro.utils.timing import Timer
 
 __all__ = ["BayesianFaultInjector"]
 
@@ -159,7 +176,39 @@ class BayesianFaultInjector:
             return self._predict()
 
     # ------------------------------------------------------------------ #
-    # campaigns
+    # the spec dispatcher
+    # ------------------------------------------------------------------ #
+
+    def run(self, spec: CampaignSpec):
+        """Execute a declarative :class:`~repro.exec.specs.CampaignSpec`.
+
+        The single entry point every campaign goes through: keyword-argument
+        methods (:meth:`forward_campaign` et al.) build a spec and call this,
+        and the :class:`~repro.exec.executor.ParallelCampaignExecutor` ships
+        specs to workers that call it there. Wall-clock duration is recorded
+        on the returned :class:`CampaignResult` (``duration_s``).
+
+        Returns whatever the underlying procedure returns — a
+        :class:`CampaignResult` for every spec except :class:`TemperedSpec`,
+        which yields ``(CampaignResult, importance-weighted error)``.
+        """
+        if not isinstance(spec, CampaignSpec):
+            raise TypeError(
+                f"run() takes a CampaignSpec, got {type(spec).__name__}; "
+                "see repro.exec.specs for the available campaign types"
+            )
+        handler = getattr(self, f"_execute_{spec.kind}", None)
+        if handler is None:
+            raise ValueError(f"no executor for campaign kind {spec.kind!r}")
+        with Timer() as timer:
+            outcome = handler(spec)
+        if isinstance(outcome, tuple):
+            result, weighted = outcome
+            return dataclasses.replace(result, duration_s=timer.elapsed), weighted
+        return dataclasses.replace(outcome, duration_s=timer.elapsed)
+
+    # ------------------------------------------------------------------ #
+    # campaigns (thin wrappers building specs)
     # ------------------------------------------------------------------ #
 
     def _fault_model(self, p: float, fault_model: FaultModel | None) -> FaultModel:
@@ -174,16 +223,9 @@ class BayesianFaultInjector:
         stream: str = "forward",
     ) -> CampaignResult:
         """i.i.d. Monte Carlo over the fault prior at flip probability ``p``."""
-        model = self._fault_model(p, fault_model)
-        rng = self._rng_factory.stream(f"{stream}:p={p!r}")
-        sampler = ForwardSampler(
-            self.parameter_targets or self._pseudo_targets(),
-            model,
-            self.make_statistic(model, self._rng_factory.stream(f"{stream}:transient:p={p!r}")),
+        return self.run(
+            ForwardSpec(p=p, samples=samples, chains=chains, fault_model=fault_model, stream=stream)
         )
-        steps = max(1, samples // chains)
-        chain_set = sampler.run(chains=chains, steps=steps, rng=rng)
-        return self._package(p, chain_set, "forward", discard_fraction=0.0)
 
     def mcmc_campaign(
         self,
@@ -202,21 +244,19 @@ class BayesianFaultInjector:
         The proposal mixes single-bit toggles (local) with block prior
         resampling (global); weights tune the mixing-speed experiments.
         """
-        if not self._wants_parameters:
-            raise ValueError("MCMC campaigns require parameter fault surfaces (the mask state)")
-        model = self._fault_model(p, fault_model)
-        statistic = self.make_statistic(model, self._rng_factory.stream(f"{stream}:transient:p={p!r}"))
-        proposal = self._make_proposal(model, toggle_weight, resample_weight)
-        sampler = MetropolisHastingsSampler(
-            PriorTarget(model),
-            proposal,
-            statistic,
-            initial=lambda r: FaultConfiguration.sample(self.parameter_targets, model, r),
+        return self.run(
+            McmcSpec(
+                p=p,
+                chains=chains,
+                steps=steps,
+                fault_model=fault_model,
+                toggle_weight=toggle_weight,
+                resample_weight=resample_weight,
+                discard_fraction=discard_fraction,
+                criterion=criterion,
+                stream=stream,
+            )
         )
-        chain_set = sampler.run(chains=chains, steps=steps, rng=self._rng_factory.stream(f"{stream}:p={p!r}"))
-        criterion = criterion or CompletenessCriterion()
-        report = criterion.assess(chain_set)
-        return self._package(p, chain_set, "mcmc", discard_fraction=discard_fraction, completeness=report)
 
     def tempered_campaign(
         self,
@@ -234,28 +274,17 @@ class BayesianFaultInjector:
         estimate self-normalises importance weights exp(−β·error) to
         recover the prior-expected classification error.
         """
-        if beta < 0:
-            raise ValueError(f"beta must be non-negative, got {beta}")
-        if not self._wants_parameters:
-            raise ValueError("tempered campaigns require parameter fault surfaces")
-        model = self._fault_model(p, fault_model)
-        statistic = self.make_statistic(model, self._rng_factory.stream(f"{stream}:transient:p={p!r}"))
-        target = TemperedErrorTarget(model, statistic, beta)
-        proposal = self._make_proposal(model, toggle_weight=0.7, resample_weight=0.3)
-        sampler = MetropolisHastingsSampler(
-            target,
-            proposal,
-            statistic,
-            initial=lambda r: FaultConfiguration.sample(self.parameter_targets, model, r),
+        return self.run(
+            TemperedSpec(
+                p=p,
+                beta=beta,
+                chains=chains,
+                steps=steps,
+                fault_model=fault_model,
+                discard_fraction=discard_fraction,
+                stream=stream,
+            )
         )
-        chain_set = sampler.run(chains=chains, steps=steps, rng=self._rng_factory.stream(f"{stream}:p={p!r}"))
-        result = self._package(p, chain_set, f"tempered(beta={beta:g})", discard_fraction=discard_fraction)
-        values = np.concatenate([c.tail(discard_fraction) for c in chain_set.chains])
-        log_w = -beta * values
-        log_w -= log_w.max()
-        weights = np.exp(log_w)
-        weighted = float((weights * values).sum() / weights.sum())
-        return result, weighted
 
     def parallel_tempering_campaign(
         self,
@@ -274,26 +303,16 @@ class BayesianFaultInjector:
         importance reweighting. The returned campaign is built from the
         cold-rung chains; swap acceptance is logged.
         """
-        if not self._wants_parameters:
-            raise ValueError("tempering campaigns require parameter fault surfaces")
-        from repro.mcmc.tempering import ParallelTemperingSampler
-
-        model = self._fault_model(p, fault_model)
-        statistic = self.make_statistic(model, self._rng_factory.stream(f"{stream}:transient:p={p!r}"))
-        sampler = ParallelTemperingSampler(
-            self.parameter_targets,
-            model,
-            statistic,
-            proposal=self._make_proposal(model, toggle_weight=0.8, resample_weight=0.2),
-            betas=betas,
-        )
-        result = sampler.run(chains=chains, sweeps=sweeps, rng=self._rng_factory.stream(f"{stream}:p={p!r}"))
-        _LOGGER.info(
-            "tempering campaign p=%g: swap acceptance %.2f, rung means %s",
-            p, result.swap_acceptance, [f"{m:.3f}" for m in result.rung_means],
-        )
-        return self._package(
-            p, result.cold_chains, f"tempering(rungs={len(betas)})", discard_fraction=discard_fraction
+        return self.run(
+            TemperingSpec(
+                p=p,
+                chains=chains,
+                sweeps=sweeps,
+                betas=tuple(betas),
+                fault_model=fault_model,
+                discard_fraction=discard_fraction,
+                stream=stream,
+            )
         )
 
     def run_until_complete(
@@ -312,20 +331,129 @@ class BayesianFaultInjector:
         ``batch_steps``, re-assess R̂/ESS/MCSE, stop when complete (or at
         ``max_steps`` per chain, returning the final incomplete report).
         """
-        criterion = criterion or CompletenessCriterion()
-        model = self._fault_model(p, fault_model)
+        return self.run(
+            AdaptiveSpec(
+                p=p,
+                criterion=criterion,
+                chains=chains,
+                batch_steps=batch_steps,
+                max_steps=max_steps,
+                fault_model=fault_model,
+                stream=stream,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # spec executors (the actual procedures)
+    # ------------------------------------------------------------------ #
+
+    def _execute_forward(self, spec: ForwardSpec) -> CampaignResult:
+        p, stream = spec.p, spec.stream
+        model = self._fault_model(p, spec.fault_model)
+        rng = self._rng_factory.stream(f"{stream}:p={p!r}")
+        sampler = ForwardSampler(
+            self.parameter_targets or self._pseudo_targets(),
+            model,
+            self.make_statistic(model, self._rng_factory.stream(f"{stream}:transient:p={p!r}")),
+        )
+        steps = max(1, spec.samples // spec.chains)
+        chain_set = sampler.run(chains=spec.chains, steps=steps, rng=rng)
+        return self._package(p, chain_set, "forward", discard_fraction=0.0)
+
+    def _execute_mcmc(self, spec: McmcSpec) -> CampaignResult:
+        if not self._wants_parameters:
+            raise ValueError("MCMC campaigns require parameter fault surfaces (the mask state)")
+        p, stream = spec.p, spec.stream
+        model = self._fault_model(p, spec.fault_model)
+        statistic = self.make_statistic(model, self._rng_factory.stream(f"{stream}:transient:p={p!r}"))
+        proposal = self._make_proposal(model, spec.toggle_weight, spec.resample_weight)
+        sampler = MetropolisHastingsSampler(
+            PriorTarget(model),
+            proposal,
+            statistic,
+            initial=lambda r: FaultConfiguration.sample(self.parameter_targets, model, r),
+        )
+        chain_set = sampler.run(
+            chains=spec.chains, steps=spec.steps, rng=self._rng_factory.stream(f"{stream}:p={p!r}")
+        )
+        criterion = spec.criterion or CompletenessCriterion()
+        report = criterion.assess(chain_set)
+        return self._package(
+            p, chain_set, "mcmc", discard_fraction=spec.discard_fraction, completeness=report
+        )
+
+    def _execute_tempered(self, spec: TemperedSpec) -> tuple[CampaignResult, float]:
+        if not self._wants_parameters:
+            raise ValueError("tempered campaigns require parameter fault surfaces")
+        p, beta, stream = spec.p, spec.beta, spec.stream
+        model = self._fault_model(p, spec.fault_model)
+        statistic = self.make_statistic(model, self._rng_factory.stream(f"{stream}:transient:p={p!r}"))
+        target = TemperedErrorTarget(model, statistic, beta)
+        proposal = self._make_proposal(model, toggle_weight=0.7, resample_weight=0.3)
+        sampler = MetropolisHastingsSampler(
+            target,
+            proposal,
+            statistic,
+            initial=lambda r: FaultConfiguration.sample(self.parameter_targets, model, r),
+        )
+        chain_set = sampler.run(
+            chains=spec.chains, steps=spec.steps, rng=self._rng_factory.stream(f"{stream}:p={p!r}")
+        )
+        result = self._package(
+            p, chain_set, f"tempered(beta={beta:g})", discard_fraction=spec.discard_fraction
+        )
+        values = np.concatenate([c.tail(spec.discard_fraction) for c in chain_set.chains])
+        log_w = -beta * values
+        log_w -= log_w.max()
+        weights = np.exp(log_w)
+        weighted = float((weights * values).sum() / weights.sum())
+        return result, weighted
+
+    def _execute_tempering(self, spec: TemperingSpec) -> CampaignResult:
+        if not self._wants_parameters:
+            raise ValueError("tempering campaigns require parameter fault surfaces")
+        from repro.mcmc.tempering import ParallelTemperingSampler
+
+        p, stream = spec.p, spec.stream
+        model = self._fault_model(p, spec.fault_model)
+        statistic = self.make_statistic(model, self._rng_factory.stream(f"{stream}:transient:p={p!r}"))
+        sampler = ParallelTemperingSampler(
+            self.parameter_targets,
+            model,
+            statistic,
+            proposal=self._make_proposal(model, toggle_weight=0.8, resample_weight=0.2),
+            betas=spec.betas,
+        )
+        result = sampler.run(
+            chains=spec.chains, sweeps=spec.sweeps, rng=self._rng_factory.stream(f"{stream}:p={p!r}")
+        )
+        _LOGGER.info(
+            "tempering campaign p=%g: swap acceptance %.2f, rung means %s",
+            p, result.swap_acceptance, [f"{m:.3f}" for m in result.rung_means],
+        )
+        return self._package(
+            p,
+            result.cold_chains,
+            f"tempering(rungs={len(spec.betas)})",
+            discard_fraction=spec.discard_fraction,
+        )
+
+    def _execute_adaptive(self, spec: AdaptiveSpec) -> CampaignResult:
+        criterion = spec.criterion or CompletenessCriterion()
+        p, stream = spec.p, spec.stream
+        model = self._fault_model(p, spec.fault_model)
         statistic = self.make_statistic(model, self._rng_factory.stream(f"{stream}:transient:p={p!r}"))
         sampler = ForwardSampler(self.parameter_targets or self._pseudo_targets(), model, statistic)
         generators = [
-            self._rng_factory.stream(f"{stream}:p={p!r}:chain={i}") for i in range(chains)
+            self._rng_factory.stream(f"{stream}:p={p!r}:chain={i}") for i in range(spec.chains)
         ]
         from repro.mcmc.chain import Chain
 
-        chain_objs = [Chain(i) for i in range(chains)]
+        chain_objs = [Chain(i) for i in range(spec.chains)]
         report = None
-        while chain_objs[0].values.size < max_steps:
+        while chain_objs[0].values.size < spec.max_steps:
             for chain, gen in zip(chain_objs, generators):
-                extension = sampler.run_chain(batch_steps, gen, chain_id=chain.chain_id)
+                extension = sampler.run_chain(spec.batch_steps, gen, chain_id=chain.chain_id)
                 for value, flips in zip(extension.values, extension.flips):
                     chain.record(value, int(flips))
             chain_set = ChainSet(chain_objs)
@@ -338,6 +466,17 @@ class BayesianFaultInjector:
         return self._package(
             p, chain_set, "adaptive", discard_fraction=criterion.discard_fraction, completeness=report
         )
+
+    def _execute_stratified(self, spec: StratifiedSpec) -> CampaignResult:
+        from repro.core.stratified import StratifiedErrorEstimator
+
+        estimator = StratifiedErrorEstimator(
+            self,
+            samples_per_stratum=spec.samples_per_stratum,
+            mass_tolerance=spec.mass_tolerance,
+            max_strata=spec.max_strata,
+        )
+        return estimator.estimate(spec.p).as_campaign_result()
 
     # ------------------------------------------------------------------ #
     # helpers

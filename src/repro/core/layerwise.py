@@ -14,13 +14,16 @@ induced error — the quantitative version of F3 (|ρ| near 0, p-value large).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 from scipy import stats as sps
 
 from repro.core.campaign import CampaignResult
 from repro.core.injector import BayesianFaultInjector
-from repro.faults.targets import TargetSpec
+from repro.exec.executor import CampaignTask, InjectorRecipe, ParallelCampaignExecutor
+from repro.exec.specs import ForwardSpec
+from repro.faults.targets import TargetSpec, resolve_parameter_targets
 from repro.nn.module import Module
 from repro.utils.logging import get_logger
 
@@ -63,6 +66,15 @@ class LayerwiseCampaign:
         Layer names to test; defaults to every parameterised layer.
     seed:
         Root seed; layer campaigns get independent derived streams.
+    executor:
+        Optional :class:`~repro.exec.executor.ParallelCampaignExecutor`;
+        layers fan out over its worker pool (one recipe per layer, each
+        with the layer's target spec and derived seed). Per-layer seeds
+        make parallel results bit-identical to sequential ones.
+    model_builder:
+        Picklable zero-argument architecture builder used to ship the
+        golden model to workers as builder + checkpoint; without it the
+        model object is embedded in each recipe (fork-friendly).
     """
 
     model: Module
@@ -73,6 +85,8 @@ class LayerwiseCampaign:
     chains: int = 2
     layers: tuple[str, ...] = ()
     seed: int = 0
+    executor: ParallelCampaignExecutor | None = None
+    model_builder: Callable[[], Module] | None = None
     results: list[LayerResult] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -83,16 +97,45 @@ class LayerwiseCampaign:
         if not self.layers:
             raise ValueError("model has no parameterised layers")
 
+    def _layer_spec(self, layer: str) -> TargetSpec:
+        return TargetSpec.single_layer(layer)
+
+    def _campaigns(self) -> list[CampaignResult]:
+        spec = ForwardSpec(p=self.p, samples=self.samples, chains=self.chains)
+        if self.executor is not None:
+            tasks = [
+                CampaignTask(
+                    spec,
+                    InjectorRecipe.from_model(
+                        self.model,
+                        self.inputs,
+                        self.labels,
+                        spec=self._layer_spec(layer),
+                        seed=self.seed + depth,
+                        model_builder=self.model_builder,
+                    ),
+                )
+                for depth, layer in enumerate(self.layers)
+            ]
+            return self.executor.execute(tasks)
+        campaigns = []
+        for depth, layer in enumerate(self.layers):
+            injector = BayesianFaultInjector(
+                self.model, self.inputs, self.labels,
+                spec=self._layer_spec(layer), seed=self.seed + depth,
+            )
+            campaigns.append(injector.run(spec))
+        return campaigns
+
     def run(self) -> "LayerwiseCampaign":
         self.results = []
-        for depth, layer in enumerate(self.layers):
-            spec = TargetSpec.single_layer(layer)
-            injector = BayesianFaultInjector(
-                self.model, self.inputs, self.labels, spec=spec, seed=self.seed + depth
-            )
-            campaign = injector.forward_campaign(self.p, samples=self.samples, chains=self.chains)
+        campaigns = self._campaigns()
+        for depth, (layer, campaign) in enumerate(zip(self.layers, campaigns)):
             lo, hi = campaign.posterior.credible_interval()
-            params = sum(param.size for _, param in injector.parameter_targets)
+            params = sum(
+                param.size
+                for _, param in resolve_parameter_targets(self.model, self._layer_spec(layer))
+            )
             self.results.append(
                 LayerResult(
                     layer=layer,

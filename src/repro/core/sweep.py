@@ -3,22 +3,39 @@
 A sweep runs one campaign per probability on a log grid (the paper sweeps
 p ∈ [1e-5, 1e-1]) and assembles the error-vs-p series, the golden-run
 reference line, and the two-regime fit.
+
+Campaigns are described by a :class:`~repro.exec.specs.CampaignSpec`
+*template* whose ``p`` is rebound per grid point (or a ``p → spec``
+factory for per-point budgets). Points run sequentially through
+:meth:`BayesianFaultInjector.run`, or concurrently through a
+:class:`~repro.exec.executor.ParallelCampaignExecutor` — bit-identical
+either way, since campaigns only draw named RNG substreams.
+
+The legacy string dispatch (``method="forward"/"mcmc"/"stratified"``) still
+works but is deprecated; pass a spec instead.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import Callable, Union
 
 import numpy as np
 
 from repro.core.campaign import CampaignResult
 from repro.core.injector import BayesianFaultInjector
 from repro.core.knee import TwoRegimeFit, fit_two_regimes, truncate_saturated_tail
+from repro.exec.executor import ParallelCampaignExecutor
+from repro.exec.specs import CampaignSpec, ForwardSpec, spec_from_method
 from repro.utils.logging import get_logger
 
 __all__ = ["SweepPoint", "ProbabilitySweep"]
 
 _LOGGER = get_logger("core.sweep")
+
+#: a spec template (``p`` rebound per point) or a ``p -> spec`` factory
+SpecLike = Union[CampaignSpec, Callable[[float], CampaignSpec]]
 
 
 @dataclass(frozen=True)
@@ -43,16 +60,29 @@ class ProbabilitySweep:
         Configured :class:`BayesianFaultInjector` (model + eval batch + spec).
     p_values:
         Flip probabilities, defaults to the paper's log grid 1e-5 … 1e-1.
-    samples / chains / method:
-        Per-point campaign budget; ``method`` is ``"forward"``, ``"mcmc"``,
-        or ``"stratified"``.
+    samples / chains:
+        Per-point campaign budget for the default (and legacy-string) specs.
+    spec:
+        A :class:`~repro.exec.specs.CampaignSpec` template — its ``p`` is
+        rebound per grid point — or a callable ``p → spec``. Defaults to
+        :class:`~repro.exec.specs.ForwardSpec` with the budget above.
+    method:
+        Deprecated string dispatch (``"forward"``/``"mcmc"``/``"stratified"``);
+        emits a :class:`DeprecationWarning` and maps onto the equivalent spec.
+    executor:
+        Optional :class:`~repro.exec.executor.ParallelCampaignExecutor`; when
+        given (with ``workers > 1``) the points fan out over its worker pool,
+        using ``executor.recipe`` to rebuild the injector per worker.
+        Results are bit-identical to the sequential path.
     """
 
     injector: BayesianFaultInjector
     p_values: tuple[float, ...] = ()
     samples: int = 200
     chains: int = 2
-    method: str = "forward"
+    method: str | None = None
+    spec: SpecLike | None = None
+    executor: ParallelCampaignExecutor | None = None
     points: list[SweepPoint] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -63,14 +93,43 @@ class ProbabilitySweep:
             raise ValueError("flip probabilities must lie in (0, 1]")
         if np.any(np.diff(p_arr) <= 0):
             raise ValueError("p_values must be strictly increasing")
-        if self.method not in ("forward", "mcmc", "stratified"):
-            raise ValueError(f"unknown sweep method {self.method!r}")
+        if self.method is not None:
+            if self.spec is not None:
+                raise ValueError("pass either spec= or the deprecated method=, not both")
+            if self.method not in ("forward", "mcmc", "stratified"):
+                raise ValueError(f"unknown sweep method {self.method!r}")
+            warnings.warn(
+                "ProbabilitySweep(method=...) string dispatch is deprecated; "
+                "pass spec=ForwardSpec(...)/McmcSpec(...)/StratifiedSpec(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            self.spec = spec_from_method(
+                self.method, p=float(self.p_values[0]), samples=self.samples, chains=self.chains
+            )
+        if self.spec is None:
+            self.spec = ForwardSpec(
+                p=float(self.p_values[0]), samples=self.samples, chains=self.chains
+            )
+
+    def spec_for(self, p: float) -> CampaignSpec:
+        """The concrete spec run at grid point ``p``."""
+        spec = self.spec(p) if callable(self.spec) else self.spec.with_p(p)
+        if not isinstance(spec, CampaignSpec):
+            raise TypeError(f"spec factory returned {type(spec).__name__}, not a CampaignSpec")
+        return spec
 
     def run(self) -> "ProbabilitySweep":
         """Execute a campaign per probability point (idempotent: clears old points)."""
         self.points = []
-        for p in self.p_values:
-            campaign = self._run_point(float(p))
+        specs = [self.spec_for(float(p)) for p in self.p_values]
+        if self.executor is not None:
+            campaigns = self.executor.run(specs)
+        else:
+            campaigns = [self.injector.run(spec) for spec in specs]
+        for p, campaign in zip(self.p_values, campaigns):
+            if isinstance(campaign, tuple):  # TemperedSpec: (result, weighted error)
+                campaign = campaign[0]
             lo, hi = campaign.posterior.credible_interval()
             self.points.append(
                 SweepPoint(
@@ -84,18 +143,6 @@ class ProbabilitySweep:
             )
             _LOGGER.info("sweep point %s", campaign)
         return self
-
-    def _run_point(self, p: float) -> CampaignResult:
-        if self.method == "forward":
-            return self.injector.forward_campaign(p, samples=self.samples, chains=self.chains)
-        if self.method == "mcmc":
-            steps = max(4, self.samples // self.chains)
-            return self.injector.mcmc_campaign(p, chains=self.chains, steps=steps)
-        from repro.core.stratified import StratifiedErrorEstimator
-
-        estimator = StratifiedErrorEstimator(self.injector, samples_per_stratum=max(4, self.samples // 8))
-        estimate = estimator.estimate(p)
-        return estimate.as_campaign_result()
 
     # ------------------------------------------------------------------ #
     # series accessors (the figure data)
@@ -117,6 +164,11 @@ class ProbabilitySweep:
         self._require_points()
         return np.asarray([pt.p for pt in self.points])
 
+    def durations(self) -> np.ndarray:
+        """Wall-clock seconds per point (throughput diagnostics)."""
+        self._require_points()
+        return np.asarray([pt.campaign.duration_s for pt in self.points])
+
     def fit_regimes(self, truncate_saturation: bool = False) -> TwoRegimeFit:
         """Two-regime fit over the sweep (finding F2).
 
@@ -131,7 +183,7 @@ class ProbabilitySweep:
         return fit_two_regimes(p_values, errors)
 
     def table(self) -> list[dict[str, float]]:
-        """Rows for the figure table: p, error %, CI, flips, golden %."""
+        """Rows for the figure table: p, error %, CI, flips, golden %, seconds."""
         self._require_points()
         return [
             {
@@ -141,6 +193,7 @@ class ProbabilitySweep:
                 "ci_hi_pct": 100 * pt.ci_hi,
                 "golden_pct": 100 * self.golden_error,
                 "mean_flips": pt.mean_flips,
+                "duration_s": pt.campaign.duration_s,
             }
             for pt in self.points
         ]

@@ -1,0 +1,377 @@
+"""Parallel campaign execution over a multiprocessing worker pool.
+
+Large BDLFI studies decompose into many *independent* campaigns — one per
+flip probability, per layer, per chain configuration. Each campaign is
+described by a :class:`~repro.exec.specs.CampaignSpec` and runs against a
+:class:`~repro.core.injector.BayesianFaultInjector`; this module ships the
+golden weights plus a model builder to worker processes, rebuilds the
+injector there, and executes specs concurrently.
+
+Determinism is structural, not accidental: every campaign draws exclusively
+from named :class:`~repro.utils.rng.RngFactory` substreams keyed by
+``(seed, stream, p)``, so a spec produces bit-identical chains whether it
+runs in-process, in a worker, before or after its siblings. Parallel sweeps
+therefore match sequential sweeps exactly.
+
+Fault tolerance (fitting, for a fault-injection tool): each task runs in
+its own worker process with a per-task timeout; a worker that crashes or
+times out is terminated and the task retried a bounded number of attempts
+before the executor gives up. ``workers=1`` — or an environment where
+process spawning fails — degrades gracefully to in-process sequential
+execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.exec.specs import CampaignSpec
+from repro.faults.targets import TargetSpec
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "InjectorRecipe",
+    "CampaignTask",
+    "ExecutionStats",
+    "ParallelCampaignExecutor",
+    "CampaignExecutionError",
+]
+
+_LOGGER = get_logger("exec")
+
+
+class CampaignExecutionError(RuntimeError):
+    """A campaign task failed permanently (attempts exhausted or it raised)."""
+
+
+@dataclass(frozen=True)
+class InjectorRecipe:
+    """Everything a worker needs to rebuild a ``BayesianFaultInjector``.
+
+    Two transport modes:
+
+    * *builder + state* (preferred): ``model_builder`` is a picklable
+      zero-argument callable constructing the architecture (e.g.
+      ``functools.partial(paper_mlp, rng=0)``) and ``state`` is the golden
+      checkpoint (a ``state_dict`` of numpy arrays) loaded into it;
+    * *embedded model*: the model object itself rides along. Convenient for
+      in-process use and fork-started workers; requires the model to pickle
+      under spawn-started pools.
+
+    Recipes are immutable and reusable: one recipe can back every task of a
+    sweep, while layerwise campaigns build one recipe per layer (different
+    target spec and seed).
+    """
+
+    inputs: np.ndarray
+    labels: np.ndarray
+    seed: int = 0
+    target_spec: TargetSpec | None = None
+    model_builder: Callable[[], Any] | None = None
+    state: Mapping[str, np.ndarray] | None = None
+    model: Any | None = None
+
+    def __post_init__(self) -> None:
+        if (self.model is None) == (self.model_builder is None):
+            raise ValueError("provide exactly one of model / model_builder")
+        if self.model is not None and self.state is not None:
+            raise ValueError("state only applies to the model_builder transport")
+
+    @classmethod
+    def from_model(
+        cls,
+        model: Any,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        *,
+        spec: TargetSpec | None = None,
+        seed: int = 0,
+        model_builder: Callable[[], Any] | None = None,
+    ) -> "InjectorRecipe":
+        """Capture a live golden model, preferring checkpoint transport.
+
+        With ``model_builder`` given, only the architecture recipe and the
+        current weights travel to workers; otherwise the model object is
+        embedded whole.
+        """
+        if model_builder is None:
+            return cls(inputs=inputs, labels=labels, seed=seed, target_spec=spec, model=model)
+        state = {name: array.copy() for name, array in model.state_dict().items()}
+        return cls(
+            inputs=inputs,
+            labels=labels,
+            seed=seed,
+            target_spec=spec,
+            model_builder=model_builder,
+            state=state,
+        )
+
+    def build(self):
+        """Construct the injector (golden model in eval mode + eval batch)."""
+        from repro.core.injector import BayesianFaultInjector
+
+        if self.model is not None:
+            model = self.model
+        else:
+            model = self.model_builder()
+            if self.state is not None:
+                model.load_state_dict(dict(self.state))
+        return BayesianFaultInjector(
+            model, self.inputs, self.labels, spec=self.target_spec, seed=self.seed
+        )
+
+
+@dataclass(frozen=True)
+class CampaignTask:
+    """One schedulable unit: a spec bound to the recipe that hosts it."""
+
+    spec: CampaignSpec
+    recipe: InjectorRecipe
+
+
+@dataclass
+class ExecutionStats:
+    """Bookkeeping from the last ``execute`` call."""
+
+    tasks: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    duration_s: float = 0.0
+    parallel: bool = False
+
+
+@dataclass
+class _Running:
+    process: multiprocessing.process.BaseProcess
+    connection: Any
+    deadline: float | None
+
+
+def _worker_main(task: CampaignTask, connection) -> None:
+    """Worker entry point: rebuild the injector, run the spec, ship the result."""
+    try:
+        injector = task.recipe.build()
+        result = injector.run(task.spec)
+        connection.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 — everything must cross the pipe
+        try:
+            connection.send(("error", exc))
+        except Exception:
+            connection.send(("error", RuntimeError(f"unpicklable worker error: {exc!r}")))
+    finally:
+        connection.close()
+
+
+class ParallelCampaignExecutor:
+    """Fan a list of campaign specs out over worker processes.
+
+    Parameters
+    ----------
+    recipe:
+        Default :class:`InjectorRecipe` for :meth:`run`; :meth:`execute`
+        accepts per-task recipes and ignores this.
+    workers:
+        Pool width. ``1`` (or an unavailable pool) runs everything
+        sequentially in-process — same results, no processes.
+    timeout_s:
+        Per-task wall-clock budget. A task over budget is terminated and
+        counts as a failed attempt. ``None`` disables the timeout.
+    max_attempts:
+        Total tries per task (first run + retries) before
+        :class:`CampaignExecutionError` is raised. Worker *crashes* and
+        timeouts are retried; exceptions raised by the campaign itself are
+        deterministic and propagate immediately.
+    start_method:
+        Multiprocessing start method; defaults to ``fork`` where available
+        (cheapest, and tolerant of closure-carrying recipes), else the
+        platform default.
+    """
+
+    def __init__(
+        self,
+        recipe: InjectorRecipe | None = None,
+        workers: int | None = None,
+        timeout_s: float | None = None,
+        max_attempts: int = 3,
+        start_method: str | None = None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.recipe = recipe
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.max_attempts = max_attempts
+        self._start_method = start_method
+        self.stats = ExecutionStats()
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+
+    def run(self, specs: Sequence[CampaignSpec], recipe: InjectorRecipe | None = None) -> list:
+        """Execute ``specs`` against one recipe; results in spec order."""
+        recipe = recipe or self.recipe
+        if recipe is None:
+            raise ValueError("no recipe: pass one here or to the constructor")
+        return self.execute([CampaignTask(spec, recipe) for spec in specs])
+
+    def execute(self, tasks: Sequence[CampaignTask]) -> list:
+        """Execute arbitrary (spec, recipe) tasks; results in task order."""
+        for task in tasks:
+            if not isinstance(task.spec, CampaignSpec):
+                raise TypeError(f"task spec must be a CampaignSpec, got {type(task.spec).__name__}")
+        self.stats = ExecutionStats(tasks=len(tasks), parallel=self.workers > 1)
+        started = time.perf_counter()
+        try:
+            if not tasks:
+                return []
+            if self.workers == 1:
+                return self._execute_sequential(tasks)
+            try:
+                return self._execute_parallel(tasks)
+            except _PoolUnavailable as exc:
+                _LOGGER.warning("worker pool unavailable (%s); falling back to sequential", exc)
+                self.stats.parallel = False
+                return self._execute_sequential(tasks)
+        finally:
+            self.stats.duration_s = time.perf_counter() - started
+
+    # ------------------------------------------------------------------ #
+    # sequential fallback
+    # ------------------------------------------------------------------ #
+
+    def _execute_sequential(self, tasks: Sequence[CampaignTask]) -> list:
+        # Rebuild each distinct recipe once; sweeps share a single recipe
+        # across every point, so this costs one golden evaluation total.
+        injectors: dict[int, Any] = {}
+        results = []
+        for task in tasks:
+            key = id(task.recipe)
+            if key not in injectors:
+                injectors[key] = task.recipe.build()
+            results.append(injectors[key].run(task.spec))
+        return results
+
+    # ------------------------------------------------------------------ #
+    # process-per-task scheduler
+    # ------------------------------------------------------------------ #
+
+    def _context(self):
+        if self._start_method is not None:
+            return multiprocessing.get_context(self._start_method)
+        if "fork" in multiprocessing.get_all_start_methods():
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def _spawn(self, ctx, task: CampaignTask) -> _Running:
+        parent, child = ctx.Pipe(duplex=False)
+        process = ctx.Process(target=_worker_main, args=(task, child), daemon=True)
+        try:
+            process.start()
+        except (OSError, PermissionError, ValueError) as exc:
+            parent.close()
+            child.close()
+            raise _PoolUnavailable(str(exc)) from exc
+        child.close()  # the worker holds the write end now
+        deadline = None if self.timeout_s is None else time.monotonic() + self.timeout_s
+        return _Running(process=process, connection=parent, deadline=deadline)
+
+    def _execute_parallel(self, tasks: Sequence[CampaignTask]) -> list:
+        ctx = self._context()
+        results: list[Any] = [None] * len(tasks)
+        attempts = [0] * len(tasks)
+        pending: deque[int] = deque(range(len(tasks)))
+        running: dict[int, _Running] = {}
+        try:
+            while pending or running:
+                while pending and len(running) < self.workers:
+                    index = pending.popleft()
+                    attempts[index] += 1
+                    running[index] = self._spawn(ctx, tasks[index])
+                progressed = self._poll(tasks, results, attempts, pending, running)
+                if not progressed and running:
+                    time.sleep(0.005)
+        finally:
+            for entry in running.values():
+                entry.process.terminate()
+                entry.process.join()
+                entry.connection.close()
+        return results
+
+    def _poll(self, tasks, results, attempts, pending, running) -> bool:
+        """One scheduler pass; returns whether any task finished or failed."""
+        progressed = False
+        for index in list(running):
+            entry = running[index]
+            if entry.connection.poll(0):
+                try:
+                    status, payload = entry.connection.recv()
+                except EOFError:  # died mid-send
+                    status, payload = None, None
+                self._reap(entry)
+                del running[index]
+                progressed = True
+                if status == "ok":
+                    results[index] = payload
+                elif status == "error":
+                    raise CampaignExecutionError(
+                        f"campaign {tasks[index].spec!r} failed in worker: {payload!r}"
+                    ) from payload
+                else:
+                    self.stats.crashes += 1
+                    self._retry_or_raise(tasks, attempts, pending, index, "crashed mid-result")
+            elif not entry.process.is_alive():
+                exitcode = entry.process.exitcode
+                self._reap(entry)
+                del running[index]
+                progressed = True
+                self.stats.crashes += 1
+                self._retry_or_raise(
+                    tasks, attempts, pending, index, f"worker died (exit code {exitcode})"
+                )
+            elif entry.deadline is not None and time.monotonic() > entry.deadline:
+                entry.process.terminate()
+                self._reap(entry)
+                del running[index]
+                progressed = True
+                self.stats.timeouts += 1
+                self._retry_or_raise(
+                    tasks, attempts, pending, index, f"timed out after {self.timeout_s:g}s"
+                )
+        return progressed
+
+    @staticmethod
+    def _reap(entry: _Running) -> None:
+        entry.process.join()
+        entry.connection.close()
+
+    def _retry_or_raise(self, tasks, attempts, pending, index: int, reason: str) -> None:
+        if attempts[index] >= self.max_attempts:
+            raise CampaignExecutionError(
+                f"campaign {tasks[index].spec!r} {reason}; "
+                f"gave up after {attempts[index]} attempt(s)"
+            )
+        self.stats.retries += 1
+        _LOGGER.warning(
+            "campaign task %d %s; retrying (attempt %d/%d)",
+            index, reason, attempts[index] + 1, self.max_attempts,
+        )
+        pending.append(index)
+
+
+class _PoolUnavailable(RuntimeError):
+    """Process creation failed; the caller should fall back to sequential."""

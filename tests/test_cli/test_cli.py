@@ -94,6 +94,22 @@ class TestSweepLayerwiseBoundary:
         assert "error_pct" in out
         assert "knee" in out
 
+    def test_sweep_parallel_matches_sequential_output(self, golden_checkpoint, capsys):
+        argv = [
+            "sweep", golden_checkpoint, "--workbench", "mlp-moons",
+            "--points", "5", "--samples", "24",
+        ]
+        assert main(argv) == 0
+        sequential_out = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+
+        def error_column(text):
+            rows = [line for line in text.splitlines() if line.strip() and line[0].isdigit()]
+            return [row.split()[1] for row in rows]
+
+        assert error_column(parallel_out) == error_column(sequential_out)
+
     def test_layerwise(self, golden_checkpoint, capsys):
         code = main(
             [
