@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Mapping, Sequence
 
 import numpy as np
+
+from repro.utils.persist import atomic_write_json, read_checked_json
 
 __all__ = ["format_table", "format_series", "ResultWriter"]
 
@@ -47,23 +48,23 @@ class ResultWriter:
     """Persist experiment outputs under a results directory as JSON.
 
     Arrays are converted to lists; every record is stamped with the
-    experiment id so EXPERIMENTS.md can cite files directly.
+    experiment id so EXPERIMENTS.md can cite files directly. Writes are
+    atomic (tmp file + ``os.replace``) and carry an embedded content
+    checksum that :meth:`read` verifies, so a crash mid-write can never
+    leave a torn or silently-corrupt result file.
     """
 
     def __init__(self, directory: str = "results") -> None:
         self.directory = directory
 
     def write(self, experiment_id: str, payload: Mapping[str, object]) -> str:
-        os.makedirs(self.directory, exist_ok=True)
         path = os.path.join(self.directory, f"{experiment_id}.json")
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump({"experiment": experiment_id, **payload}, handle, indent=2, default=_jsonify)
+        atomic_write_json(path, {"experiment": experiment_id, **payload}, default=_jsonify)
         return path
 
     def read(self, experiment_id: str) -> dict:
         path = os.path.join(self.directory, f"{experiment_id}.json")
-        with open(path, encoding="utf-8") as handle:
-            return json.load(handle)
+        return read_checked_json(path)
 
 
 def _jsonify(value: object):

@@ -14,6 +14,11 @@ Usage (after ``pip install -e .``):
 out over N worker processes; results are bit-identical to ``--workers 1``
 because every campaign draws only named, seed-derived RNG streams.
 
+``--journal PATH`` (campaign/sweep/layerwise) records every completed
+campaign to a crash-safe, fsync'd journal; after a crash, re-running the
+same command with ``--resume`` skips completed campaigns and produces
+results bit-identical to an uninterrupted run.
+
 A *workbench* bundles a model architecture with its matched dataset, both
 reproducible from seeds, so a checkpoint plus a workbench name fully
 determines an experiment. Available workbenches: ``mlp-moons`` (the paper's
@@ -26,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import functools
+import os
 import sys
 from dataclasses import dataclass
 from typing import Callable
@@ -37,11 +43,14 @@ from repro.core import BayesianFaultInjector, DecisionBoundaryAnalysis, Layerwis
 from repro.data import ArrayDataset, DataLoader, SyntheticImageConfig, make_synthetic_images, two_moons
 from repro.exec import (
     AdaptiveSpec,
+    CampaignJournal,
     ForwardSpec,
     InjectorRecipe,
+    JournalError,
     McmcSpec,
     ParallelCampaignExecutor,
     TemperingSpec,
+    campaign_fingerprint,
 )
 from repro.faults import BernoulliBitFlipModel, TargetSpec
 from repro.nn import LeNet, MLP, paper_mlp
@@ -165,6 +174,63 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--include-biases", action="store_true", default=True)
 
 
+def _add_durability(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="record completed campaigns to this crash-safe journal (JSONL)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume from an existing --journal, skipping completed campaigns "
+             "(bit-identical to an uninterrupted run)",
+    )
+
+
+def _validate_workers(args) -> None:
+    if getattr(args, "workers", 1) < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+
+
+def _open_journal(args, specs) -> CampaignJournal | None:
+    """Open/create the campaign journal requested on the command line.
+
+    Validates the ``--journal`` / ``--resume`` combinations: resuming
+    requires both the flag and an existing journal file, while starting a
+    fresh run refuses to silently append to a journal that already exists.
+    """
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal PATH (nothing to resume from)")
+    if not args.journal:
+        return None
+    fingerprint = campaign_fingerprint(specs, args.seed)
+    try:
+        if args.resume:
+            if not os.path.exists(args.journal):
+                raise SystemExit(
+                    f"--resume: no journal at {args.journal!r}; "
+                    "run once without --resume to create it"
+                )
+            return CampaignJournal.resume(args.journal, fingerprint=fingerprint)
+        if os.path.exists(args.journal):
+            raise SystemExit(
+                f"journal {args.journal!r} already exists; "
+                "pass --resume to continue it or pick a fresh path"
+            )
+        return CampaignJournal(args.journal, fingerprint=fingerprint)
+    except JournalError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
+def _print_journal_status(journal, executor=None) -> None:
+    if journal is None:
+        return
+    if journal.hits:
+        print(f"journal: {journal.hits} campaign(s) restored, "
+              f"{len(journal)} recorded at {journal.path}")
+    else:
+        print(f"journal: {len(journal)} campaign(s) recorded at {journal.path}")
+
+
 # ---------------------------------------------------------------------- #
 # commands
 # ---------------------------------------------------------------------- #
@@ -197,30 +263,41 @@ def _campaign_spec_from_args(args):
 
 
 def _cmd_campaign(args) -> int:
+    _validate_workers(args)
     injector, recipe = _campaign_setup(args)
     print(f"golden error: {injector.golden_error:.2%}")
     spec = _campaign_spec_from_args(args)
-    if args.workers > 1:
-        executor = ParallelCampaignExecutor(recipe, workers=args.workers)
+    journal = _open_journal(args, [spec])
+    executor = None
+    if args.workers > 1 or journal is not None:
+        # the executor path journals completed tasks even at workers=1
+        executor = ParallelCampaignExecutor(recipe, workers=args.workers, journal=journal)
         campaign = executor.run([spec])[0]
     else:
         campaign = injector.run(spec)
+    if isinstance(campaign, tuple):  # tempering: (result, weighted error)
+        campaign = campaign[0]
     print(campaign)
     print(format_table([campaign.summary_row()]))
     if campaign.completeness is not None:
         print(campaign.completeness)
+    _print_journal_status(journal, executor)
     return 0
 
 
 def _cmd_sweep(args) -> int:
+    _validate_workers(args)
     injector, recipe = _campaign_setup(args)
     p_values = tuple(np.logspace(np.log10(args.p_min), np.log10(args.p_max), args.points))
+    base_spec = ForwardSpec(p=float(p_values[0]), samples=args.samples, chains=args.chains)
+    journal = _open_journal(args, [base_spec.with_p(float(p)) for p in p_values])
     executor = None
     if args.workers > 1:
-        executor = ParallelCampaignExecutor(recipe, workers=args.workers)
+        executor = ParallelCampaignExecutor(recipe, workers=args.workers, journal=journal)
     sweep = ProbabilitySweep(
-        injector, p_values=p_values, samples=args.samples, chains=args.chains, executor=executor
+        injector, p_values=p_values, spec=base_spec, executor=executor, journal=journal
     ).run()
+    _print_journal_status(journal, executor)
     print(format_table(sweep.table()))
     print()
     print(
@@ -236,20 +313,24 @@ def _cmd_sweep(args) -> int:
 
 
 def _cmd_layerwise(args) -> int:
+    _validate_workers(args)
     workbench = _load_workbench(args.workbench)
     model = workbench.build_model()
     load_checkpoint(model, args.checkpoint)
     _, evaluation = workbench.build_data(args.train_size, args.eval_size)
     features, labels = evaluation.arrays()
+    spec = ForwardSpec(p=args.p, samples=args.samples, chains=1)
+    journal = _open_journal(args, [spec])
     executor = None
     if args.workers > 1:
-        executor = ParallelCampaignExecutor(workers=args.workers)
+        executor = ParallelCampaignExecutor(workers=args.workers, journal=journal)
     campaign = LayerwiseCampaign(
         model, features[: args.eval_size], labels[: args.eval_size],
         p=args.p, samples=args.samples, chains=1, seed=args.seed,
-        executor=executor,
+        executor=executor, journal=journal,
         model_builder=functools.partial(build_workbench_model, args.workbench),
     ).run()
+    _print_journal_status(journal, executor)
     print(format_table(campaign.table(), columns=["depth", "layer", "error_pct", "parameters"]))
     stats = campaign.depth_correlation()
     print(f"\ndepth vs error: Spearman rho = {stats['spearman_rho']:+.3f} (p = {stats['spearman_p']:.3f})")
@@ -330,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--workers", type=int, default=1, help="worker processes for campaign execution"
     )
+    _add_durability(campaign)
     campaign.set_defaults(handler=_cmd_campaign)
 
     sweep = subparsers.add_parser("sweep", help="error vs flip-probability sweep (Figs. 2/4)")
@@ -343,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes; one campaign per sweep point fans out over the pool",
     )
+    _add_durability(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     layerwise = subparsers.add_parser("layerwise", help="per-layer campaign (Fig. 3)")
@@ -353,6 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes; one campaign per layer fans out over the pool",
     )
+    _add_durability(layerwise)
     layerwise.set_defaults(handler=_cmd_layerwise)
 
     assess = subparsers.add_parser("assess", help="full resilience assessment report")

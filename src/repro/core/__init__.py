@@ -31,6 +31,7 @@ from repro.core.outcomes import OutcomeCampaign, ConfigurationOutcome
 from repro.core.assessment import ResilienceAssessment, assess_model
 from repro.core.tracing import PropagationTrace, LayerDivergence, trace_fault_propagation
 from repro.core.batched import BatchedMLPEvaluator
+from repro.core.hazard import HazardReport, NumericalHazardGuard, hazard_aware_error
 
 __all__ = [
     "BayesianFaultInjector",
@@ -56,4 +57,7 @@ __all__ = [
     "LayerDivergence",
     "trace_fault_propagation",
     "BatchedMLPEvaluator",
+    "HazardReport",
+    "NumericalHazardGuard",
+    "hazard_aware_error",
 ]

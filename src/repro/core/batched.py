@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.bits.float32 import apply_bit_mask
 from repro.core.campaign import CampaignResult
+from repro.core.hazard import HazardReport
 from repro.core.posterior import ErrorPosterior
 from repro.faults.configuration import FaultConfiguration
 from repro.faults.model import FaultModel
@@ -61,6 +62,8 @@ class BatchedMLPEvaluator:
         self._inputs = np.asarray(injector.inputs, dtype=np.float32).reshape(
             len(injector.labels), -1
         )
+        #: hazard accounting of the most recent :meth:`evaluate` call
+        self.last_hazard: HazardReport = HazardReport()
 
     # ------------------------------------------------------------------ #
     # model planning
@@ -122,8 +125,22 @@ class BatchedMLPEvaluator:
                     current = np.where(current > 0, current, np.float32(0.0))
                 elif isinstance(layer, Flatten):
                     current = current.reshape(k, current.shape[1], -1)
+        # Same hazard taxonomy as NumericalHazardGuard.score: a row with any
+        # non-finite logit always counts as an error (deterministically, not
+        # via NaN argmax) and is tracked separately as a hazard.
+        finite = np.isfinite(current).all(axis=2)  # (k, B)
         predictions = current.argmax(axis=2)  # (k, B)
-        return (predictions != labels[None, :]).mean(axis=1)
+        hazard_per_configuration = (~finite).sum(axis=1)
+        self.last_hazard = HazardReport(
+            evaluations=k,
+            hazard_evaluations=int((hazard_per_configuration > 0).sum()),
+            rows=int(finite.size),
+            hazard_rows=int(hazard_per_configuration.sum()),
+        )
+        if finite.all():
+            return (predictions != labels[None, :]).mean(axis=1)
+        wrong = ((predictions != labels[None, :]) & finite).sum(axis=1)
+        return (wrong + hazard_per_configuration) / current.shape[1]
 
     def _stacked_parameter(
         self, configurations: list[FaultConfiguration], name: str, golden: np.ndarray
@@ -186,4 +203,5 @@ class BatchedMLPEvaluator:
             posterior=posterior,
             method="forward-batched",
             seed=self.injector.seed,
+            hazard=self.last_hazard,
         )

@@ -20,7 +20,7 @@ from repro.bits.float32 import apply_bit_mask
 from repro.faults.model import FaultModel
 from repro.nn.module import Module, Parameter
 from repro.tensor.tensor import Tensor, no_grad
-from repro.train.metrics import classification_error
+from repro.core.hazard import hazard_aware_error
 
 __all__ = ["MaskDistribution", "build_fault_network"]
 
@@ -113,6 +113,6 @@ def build_fault_network(
 
     network.deterministic("logits", _forward, faulted_names)
     network.deterministic(
-        "error", lambda pv: classification_error(pv["logits"], labels), ("logits",)
+        "error", lambda pv: hazard_aware_error(pv["logits"], labels), ("logits",)
     )
     return network

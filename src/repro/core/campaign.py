@@ -2,7 +2,15 @@
 
 A campaign = (golden model, fault model at one p, target spec, sampler,
 sample budget). Its result carries the raw chains, the error posterior,
-and — when the sampler was MCMC — the completeness report.
+the numerical-hazard accounting, and — when the sampler was MCMC — the
+completeness report.
+
+Results round-trip losslessly through JSON (:meth:`CampaignResult.to_dict`
+/ :meth:`CampaignResult.from_dict`): the campaign journal and the atomic
+:meth:`save`/:meth:`load` pair rely on that to make resumed campaigns
+bit-identical to uninterrupted ones. Non-finite sentinel floats (an
+undefined R-hat, say) serialise as ``null`` — ``NaN`` is not valid JSON —
+and are restored on load.
 """
 
 from __future__ import annotations
@@ -11,9 +19,16 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.hazard import HazardReport
 from repro.core.posterior import ErrorPosterior
-from repro.mcmc.chain import ChainSet
+from repro.mcmc.chain import Chain, ChainSet
 from repro.mcmc.mixing import CompletenessReport
+from repro.utils.persist import (
+    atomic_write_json,
+    float_from_json,
+    read_checked_json,
+    sanitize_nonfinite,
+)
 
 __all__ = ["CampaignResult"]
 
@@ -32,6 +47,8 @@ class CampaignResult:
     discard_fraction: float = 0.0
     #: wall-clock seconds the campaign took (stamped by ``BayesianFaultInjector.run``)
     duration_s: float = 0.0
+    #: numerical-hazard accounting (stamped by ``BayesianFaultInjector.run``)
+    hazard: HazardReport | None = None
 
     @property
     def mean_error(self) -> float:
@@ -54,6 +71,11 @@ class CampaignResult:
             return float("inf")
         return self.total_evaluations / self.duration_s
 
+    @property
+    def hazard_fraction(self) -> float:
+        """Fraction of evaluation rows quarantined as numerically hazardous."""
+        return self.hazard.hazard_fraction if self.hazard is not None else 0.0
+
     def summary_row(self) -> dict[str, float | str]:
         """Flat dict for table rendering in benches and reports."""
         lo, hi = self.posterior.credible_interval()
@@ -68,6 +90,8 @@ class CampaignResult:
             "evaluations": self.total_evaluations,
             "duration_s": self.duration_s,
         }
+        if self.hazard is not None:
+            row["hazard_pct"] = 100.0 * self.hazard.hazard_fraction
         if self.completeness is not None:
             row["r_hat"] = self.completeness.r_hat
             row["ess"] = self.completeness.ess
@@ -75,17 +99,23 @@ class CampaignResult:
         return row
 
     def to_dict(self) -> dict:
-        """JSON-ready record: summary, posterior samples, per-chain values.
+        """JSON-ready record: summary, posterior samples, per-chain traces.
 
-        Rich enough to reconstruct every figure built on this campaign
-        without re-running it (configurations themselves are not stored —
-        persist those separately with :meth:`FaultConfiguration.save`).
+        Rich enough for :meth:`from_dict` to reconstruct the result
+        bit-identically (configurations themselves are not stored — persist
+        those separately with :meth:`FaultConfiguration.save`). Non-finite
+        floats are sanitised to JSON-clean values (``nan`` → ``null``).
         """
         record: dict = {
+            "flip_probability": self.flip_probability,
+            "golden_error": self.golden_error,
+            "method": self.method,
             "summary": self.summary_row(),
             "posterior_samples": self.posterior.samples.tolist(),
             "chains": [chain.values.tolist() for chain in self.chains.chains],
             "flips": [chain.flips.tolist() for chain in self.chains.chains],
+            "accepts": [[bool(a) for a in chain._accepts] for chain in self.chains.chains],
+            "chain_ids": [chain.chain_id for chain in self.chains.chains],
             "seed": self.seed,
             "discard_fraction": self.discard_fraction,
             "duration_s": self.duration_s,
@@ -96,17 +126,81 @@ class CampaignResult:
                 "r_hat": self.completeness.r_hat,
                 "ess": self.completeness.ess,
                 "mcse": self.completeness.mcse,
+                "estimate": self.completeness.estimate,
+                "steps": self.completeness.steps,
             }
-        return record
+        if self.hazard is not None:
+            record["hazard"] = self.hazard.to_dict()
+        return sanitize_nonfinite(record)
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "CampaignResult":
+        """Reconstruct a result written by :meth:`to_dict`, bit-identically.
+
+        Tolerates sanitised non-finite fields (``null`` → ``nan``) and
+        records from before the ``accepts``/``hazard`` fields existed.
+        """
+        values = record["chains"]
+        flips = record["flips"]
+        accepts = record.get("accepts") or [[True] * len(v) for v in values]
+        chain_ids = record.get("chain_ids") or list(range(len(values)))
+        chains = []
+        for chain_id, chain_values, chain_flips, chain_accepts in zip(
+            chain_ids, values, flips, accepts
+        ):
+            chain = Chain(int(chain_id))
+            for value, flip, accepted in zip(chain_values, chain_flips, chain_accepts):
+                chain.record(float(value), int(flip), bool(accepted))
+            chains.append(chain)
+        summary = record.get("summary", {})
+        golden_error = float_from_json(record.get("golden_error", summary.get("golden_error_pct")))
+        if "golden_error" not in record:  # legacy records only carry the percentage
+            golden_error = golden_error / 100.0
+        flip_probability = float_from_json(record.get("flip_probability", summary.get("p")))
+        method = str(record.get("method", summary.get("method", "unknown")))
+        completeness = None
+        if record.get("completeness") is not None:
+            block = record["completeness"]
+            completeness = CompletenessReport(
+                complete=bool(block["complete"]),
+                r_hat=float_from_json(block.get("r_hat")),
+                ess=float_from_json(block.get("ess")),
+                mcse=float_from_json(block.get("mcse")),
+                estimate=float_from_json(block.get("estimate", summary.get("mean_error_pct", 0.0))),
+                steps=int(block.get("steps", len(values[0]) if values else 0)),
+            )
+        hazard = None
+        if record.get("hazard") is not None:
+            hazard = HazardReport.from_dict(record["hazard"])
+        posterior = ErrorPosterior(
+            np.asarray(record["posterior_samples"], dtype=np.float64), golden_error
+        )
+        return cls(
+            flip_probability=flip_probability,
+            golden_error=golden_error,
+            chains=ChainSet(chains),
+            posterior=posterior,
+            method=method,
+            seed=int(record.get("seed", 0)),
+            completeness=completeness,
+            discard_fraction=float(record.get("discard_fraction", 0.0)),
+            duration_s=float_from_json(record.get("duration_s", 0.0), default=0.0),
+            hazard=hazard,
+        )
 
     def save(self, path: str) -> None:
-        """Write :meth:`to_dict` as JSON (directories created as needed)."""
-        import json
-        import os
+        """Atomically write :meth:`to_dict` as checksummed JSON.
 
-        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2)
+        The write goes through tmp-file + ``os.replace`` with an embedded
+        content checksum, so a crash mid-save can never leave a torn file
+        where a result used to be.
+        """
+        atomic_write_json(path, self.to_dict())
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignResult":
+        """Load a result written by :meth:`save`, verifying its checksum."""
+        return cls.from_dict(read_checked_json(path))
 
     def __repr__(self) -> str:
         return (

@@ -34,6 +34,7 @@ import dataclasses
 import numpy as np
 
 from repro.core.campaign import CampaignResult
+from repro.core.hazard import NumericalHazardGuard
 from repro.exec.specs import (
     AdaptiveSpec,
     CampaignSpec,
@@ -108,6 +109,8 @@ class BayesianFaultInjector:
         self.spec = spec or TargetSpec()
         self.seed = seed
         self._rng_factory = RngFactory(seed)
+        #: hazard guard of the campaign currently executing under :meth:`run`
+        self._active_guard: NumericalHazardGuard | None = None
 
         self.parameter_targets = resolve_parameter_targets(model, self.spec)
         self.activation_modules = resolve_activation_modules(model, self.spec)
@@ -147,26 +150,37 @@ class BayesianFaultInjector:
             stack.enter_context(InputInjector(self.model, fault_model, rng))
         return stack
 
-    def make_statistic(self, fault_model: FaultModel, rng: np.random.Generator):
+    def make_statistic(
+        self,
+        fault_model: FaultModel,
+        rng: np.random.Generator,
+        guard: NumericalHazardGuard | None = None,
+    ):
         """Build ``FaultConfiguration → classification error`` for one campaign.
 
         Parameter masks come from the configuration (the MCMC state);
         transient surfaces draw fresh faults from ``fault_model`` inside the
         evaluation, using the supplied stream.
+
+        Every evaluation runs under a :class:`NumericalHazardGuard`
+        (``guard``, the active campaign's guard, or a private one): flipped
+        exponent bits legitimately produce inf/nan activations, so FP error
+        events are counted rather than warned, and rows with non-finite
+        logits are quarantined into the ``hazard`` outcome class instead of
+        polluting the misclassification statistic.
         """
+        hazard_guard = guard or self._active_guard or NumericalHazardGuard()
 
         def statistic(configuration: FaultConfiguration) -> float:
             if self._wants_parameters:
                 parameter_context = apply_configuration(self.model, configuration)
             else:  # transient-only campaign; the configuration is a placeholder
                 parameter_context = contextlib.nullcontext()
-            # Flipped exponent bits legitimately produce inf/nan activations;
-            # suppress the floating-point warnings those passes raise.
-            with parameter_context, np.errstate(all="ignore"):
+            with parameter_context, hazard_guard.capture():
                 with self._transient_context(fault_model, rng):
                     with no_grad():
                         logits = self.model(self._x)
-            return classification_error(logits, self.labels)
+            return hazard_guard.score(logits, self.labels)
 
         return statistic
 
@@ -200,12 +214,20 @@ class BayesianFaultInjector:
         handler = getattr(self, f"_execute_{spec.kind}", None)
         if handler is None:
             raise ValueError(f"no executor for campaign kind {spec.kind!r}")
-        with Timer() as timer:
-            outcome = handler(spec)
+        guard = NumericalHazardGuard()
+        self._active_guard = guard
+        try:
+            with Timer() as timer:
+                outcome = handler(spec)
+        finally:
+            self._active_guard = None
+        hazard = guard.report()
+        if hazard.any_hazard:
+            _LOGGER.info("campaign %s: %s", spec.kind, hazard)
         if isinstance(outcome, tuple):
             result, weighted = outcome
-            return dataclasses.replace(result, duration_s=timer.elapsed), weighted
-        return dataclasses.replace(outcome, duration_s=timer.elapsed)
+            return dataclasses.replace(result, duration_s=timer.elapsed, hazard=hazard), weighted
+        return dataclasses.replace(outcome, duration_s=timer.elapsed, hazard=hazard)
 
     # ------------------------------------------------------------------ #
     # campaigns (thin wrappers building specs)

@@ -75,6 +75,11 @@ class LayerwiseCampaign:
         Picklable zero-argument architecture builder used to ship the
         golden model to workers as builder + checkpoint; without it the
         model object is embedded in each recipe (fork-friendly).
+    journal:
+        Optional :class:`~repro.exec.journal.CampaignJournal`. Completed
+        layer campaigns are durably recorded; re-running skips journaled
+        layers bit-identically (per-layer keys include the layer's target
+        spec and derived seed).
     """
 
     model: Module
@@ -87,6 +92,7 @@ class LayerwiseCampaign:
     seed: int = 0
     executor: ParallelCampaignExecutor | None = None
     model_builder: Callable[[], Module] | None = None
+    journal: object | None = None
     results: list[LayerResult] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -103,6 +109,8 @@ class LayerwiseCampaign:
     def _campaigns(self) -> list[CampaignResult]:
         spec = ForwardSpec(p=self.p, samples=self.samples, chains=self.chains)
         if self.executor is not None:
+            if self.journal is not None:
+                self.executor.journal = self.journal
             tasks = [
                 CampaignTask(
                     spec,
@@ -120,11 +128,28 @@ class LayerwiseCampaign:
             return self.executor.execute(tasks)
         campaigns = []
         for depth, layer in enumerate(self.layers):
+            key = None
+            if self.journal is not None:
+                # Same key shape as the executor path: per-layer derived
+                # seed plus the layer's target-spec scope.
+                from repro.exec.journal import target_fingerprint, task_key
+
+                key = task_key(
+                    spec, seed=self.seed + depth, scope=target_fingerprint(self._layer_spec(layer))
+                )
+                cached = self.journal.get(key)
+                if cached is not None:
+                    _LOGGER.info("journal hit for layer %s; skipping re-run", layer)
+                    campaigns.append(cached)
+                    continue
             injector = BayesianFaultInjector(
                 self.model, self.inputs, self.labels,
                 spec=self._layer_spec(layer), seed=self.seed + depth,
             )
-            campaigns.append(injector.run(spec))
+            outcome = injector.run(spec)
+            if self.journal is not None:
+                self.journal.record(key, outcome)
+            campaigns.append(outcome)
         return campaigns
 
     def run(self) -> "LayerwiseCampaign":

@@ -74,6 +74,11 @@ class ProbabilitySweep:
         given (with ``workers > 1``) the points fan out over its worker pool,
         using ``executor.recipe`` to rebuild the injector per worker.
         Results are bit-identical to the sequential path.
+    journal:
+        Optional :class:`~repro.exec.journal.CampaignJournal`. Completed
+        points are durably recorded as they finish; re-running the sweep
+        (e.g. after a crash) skips journaled points and produces results
+        bit-identical to an uninterrupted run.
     """
 
     injector: BayesianFaultInjector
@@ -83,6 +88,7 @@ class ProbabilitySweep:
     method: str | None = None
     spec: SpecLike | None = None
     executor: ParallelCampaignExecutor | None = None
+    journal: object | None = None
     points: list[SweepPoint] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -124,7 +130,11 @@ class ProbabilitySweep:
         self.points = []
         specs = [self.spec_for(float(p)) for p in self.p_values]
         if self.executor is not None:
+            if self.journal is not None:
+                self.executor.journal = self.journal
             campaigns = self.executor.run(specs)
+        elif self.journal is not None:
+            campaigns = self._run_journaled(specs)
         else:
             campaigns = [self.injector.run(spec) for spec in specs]
         for p, campaign in zip(self.p_values, campaigns):
@@ -143,6 +153,29 @@ class ProbabilitySweep:
             )
             _LOGGER.info("sweep point %s", campaign)
         return self
+
+    def _run_journaled(self, specs: list[CampaignSpec]) -> list:
+        """Sequential execution with durable per-point journaling.
+
+        Uses the same task keys as the executor path — injector seed and
+        target spec — so a sweep journaled sequentially resumes correctly
+        under a parallel executor and vice versa.
+        """
+        from repro.exec.journal import target_fingerprint, task_key
+
+        scope = target_fingerprint(self.injector.spec)
+        campaigns = []
+        for spec in specs:
+            key = task_key(spec, seed=self.injector.seed, scope=scope)
+            cached = self.journal.get(key)
+            if cached is not None:
+                _LOGGER.info("journal hit for p=%g; skipping re-run", spec.p)
+                campaigns.append(cached)
+                continue
+            outcome = self.injector.run(spec)
+            self.journal.record(key, outcome)
+            campaigns.append(outcome)
+        return campaigns
 
     # ------------------------------------------------------------------ #
     # series accessors (the figure data)
@@ -183,7 +216,7 @@ class ProbabilitySweep:
         return fit_two_regimes(p_values, errors)
 
     def table(self) -> list[dict[str, float]]:
-        """Rows for the figure table: p, error %, CI, flips, golden %, seconds."""
+        """Rows for the figure table: p, error %, CI, flips, golden %, seconds, hazard %."""
         self._require_points()
         return [
             {
@@ -194,6 +227,7 @@ class ProbabilitySweep:
                 "golden_pct": 100 * self.golden_error,
                 "mean_flips": pt.mean_flips,
                 "duration_s": pt.campaign.duration_s,
+                "hazard_pct": 100 * pt.campaign.hazard_fraction,
             }
             for pt in self.points
         ]

@@ -34,6 +34,14 @@ from repro.exec.executor import (
     InjectorRecipe,
     ParallelCampaignExecutor,
 )
+from repro.exec.journal import (
+    CampaignJournal,
+    JournalError,
+    JournalMismatchError,
+    campaign_fingerprint,
+    journal_key,
+    task_key,
+)
 
 __all__ = [
     "CampaignSpec",
@@ -50,4 +58,10 @@ __all__ = [
     "ExecutionStats",
     "ParallelCampaignExecutor",
     "CampaignExecutionError",
+    "CampaignJournal",
+    "JournalError",
+    "JournalMismatchError",
+    "campaign_fingerprint",
+    "journal_key",
+    "task_key",
 ]

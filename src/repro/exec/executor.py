@@ -19,6 +19,12 @@ times out is terminated and the task retried a bounded number of attempts
 before the executor gives up. ``workers=1`` — or an environment where
 process spawning fails — degrades gracefully to in-process sequential
 execution.
+
+Attach a :class:`~repro.exec.journal.CampaignJournal` and execution also
+becomes *durable*: every completed task is fsync'd to the journal from the
+driver process (so it survives worker SIGKILL), journaled tasks are skipped
+on re-execution, and — because task identity is the RNG key — a resumed run
+is bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -146,6 +152,8 @@ class ExecutionStats:
     crashes: int = 0
     duration_s: float = 0.0
     parallel: bool = False
+    #: tasks satisfied from the campaign journal instead of being re-run
+    journal_hits: int = 0
 
 
 @dataclass
@@ -193,6 +201,11 @@ class ParallelCampaignExecutor:
         Multiprocessing start method; defaults to ``fork`` where available
         (cheapest, and tolerant of closure-carrying recipes), else the
         platform default.
+    journal:
+        Optional :class:`~repro.exec.journal.CampaignJournal`. Completed
+        tasks are durably recorded (fsync before scheduling continues) and
+        journaled tasks are served from the journal instead of re-running —
+        bit-identically, since task keys encode the full RNG identity.
     """
 
     def __init__(
@@ -202,6 +215,7 @@ class ParallelCampaignExecutor:
         timeout_s: float | None = None,
         max_attempts: int = 3,
         start_method: str | None = None,
+        journal=None,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -216,6 +230,7 @@ class ParallelCampaignExecutor:
         self.timeout_s = timeout_s
         self.max_attempts = max_attempts
         self._start_method = start_method
+        self.journal = journal
         self.stats = ExecutionStats()
 
     # ------------------------------------------------------------------ #
@@ -239,32 +254,77 @@ class ParallelCampaignExecutor:
         try:
             if not tasks:
                 return []
+            results: list[Any] = [None] * len(tasks)
+            keys, pending = self._partition(tasks, results)
+            if not pending:
+                return results
             if self.workers == 1:
-                return self._execute_sequential(tasks)
+                self._execute_sequential(tasks, pending, results, keys)
+                return results
             try:
-                return self._execute_parallel(tasks)
+                self._execute_parallel(tasks, pending, results, keys)
             except _PoolUnavailable as exc:
                 _LOGGER.warning("worker pool unavailable (%s); falling back to sequential", exc)
                 self.stats.parallel = False
-                return self._execute_sequential(tasks)
+                remaining = [index for index in pending if results[index] is None]
+                self._execute_sequential(tasks, remaining, results, keys)
+            return results
         finally:
             self.stats.duration_s = time.perf_counter() - started
+
+    # ------------------------------------------------------------------ #
+    # journal plumbing
+    # ------------------------------------------------------------------ #
+
+    def _partition(self, tasks: Sequence[CampaignTask], results: list) -> tuple[list, list[int]]:
+        """Split tasks into journal hits (filled into ``results``) and pending."""
+        if self.journal is None:
+            return [None] * len(tasks), list(range(len(tasks)))
+        from repro.exec.journal import journal_key
+
+        keys = [journal_key(task) for task in tasks]
+        pending: list[int] = []
+        for index, key in enumerate(keys):
+            cached = self.journal.get(key)
+            if cached is not None:
+                results[index] = cached
+                self.stats.journal_hits += 1
+            else:
+                pending.append(index)
+        if self.stats.journal_hits:
+            _LOGGER.info(
+                "journal: %d/%d task(s) already complete; running %d",
+                self.stats.journal_hits, len(tasks), len(pending),
+            )
+        return keys, pending
+
+    def _record(self, key, outcome) -> None:
+        """Durably journal one completed task (driver process, fsync'd)."""
+        if self.journal is not None and key is not None:
+            self.journal.record(key, outcome)
 
     # ------------------------------------------------------------------ #
     # sequential fallback
     # ------------------------------------------------------------------ #
 
-    def _execute_sequential(self, tasks: Sequence[CampaignTask]) -> list:
+    def _execute_sequential(
+        self,
+        tasks: Sequence[CampaignTask],
+        pending: Sequence[int],
+        results: list,
+        keys: Sequence,
+    ) -> None:
         # Rebuild each distinct recipe once; sweeps share a single recipe
         # across every point, so this costs one golden evaluation total.
         injectors: dict[int, Any] = {}
-        results = []
-        for task in tasks:
-            key = id(task.recipe)
-            if key not in injectors:
-                injectors[key] = task.recipe.build()
-            results.append(injectors[key].run(task.spec))
-        return results
+        for index in pending:
+            task = tasks[index]
+            recipe_key = id(task.recipe)
+            if recipe_key not in injectors:
+                injectors[recipe_key] = task.recipe.build()
+            outcome = injectors[recipe_key].run(task.spec)
+            results[index] = outcome
+            self._record(keys[index], outcome)
 
     # ------------------------------------------------------------------ #
     # process-per-task scheduler
@@ -290,11 +350,16 @@ class ParallelCampaignExecutor:
         deadline = None if self.timeout_s is None else time.monotonic() + self.timeout_s
         return _Running(process=process, connection=parent, deadline=deadline)
 
-    def _execute_parallel(self, tasks: Sequence[CampaignTask]) -> list:
+    def _execute_parallel(
+        self,
+        tasks: Sequence[CampaignTask],
+        pending_indexes: Sequence[int],
+        results: list,
+        keys: Sequence,
+    ) -> None:
         ctx = self._context()
-        results: list[Any] = [None] * len(tasks)
-        attempts = [0] * len(tasks)
-        pending: deque[int] = deque(range(len(tasks)))
+        attempts = {index: 0 for index in pending_indexes}
+        pending: deque[int] = deque(pending_indexes)
         running: dict[int, _Running] = {}
         try:
             while pending or running:
@@ -302,7 +367,7 @@ class ParallelCampaignExecutor:
                     index = pending.popleft()
                     attempts[index] += 1
                     running[index] = self._spawn(ctx, tasks[index])
-                progressed = self._poll(tasks, results, attempts, pending, running)
+                progressed = self._poll(tasks, results, keys, attempts, pending, running)
                 if not progressed and running:
                     time.sleep(0.005)
         finally:
@@ -310,9 +375,8 @@ class ParallelCampaignExecutor:
                 entry.process.terminate()
                 entry.process.join()
                 entry.connection.close()
-        return results
 
-    def _poll(self, tasks, results, attempts, pending, running) -> bool:
+    def _poll(self, tasks, results, keys, attempts, pending, running) -> bool:
         """One scheduler pass; returns whether any task finished or failed."""
         progressed = False
         for index in list(running):
@@ -327,6 +391,9 @@ class ParallelCampaignExecutor:
                 progressed = True
                 if status == "ok":
                     results[index] = payload
+                    # journal from the driver: a later worker SIGKILL can
+                    # never take this completed task down with it
+                    self._record(keys[index], payload)
                 elif status == "error":
                     raise CampaignExecutionError(
                         f"campaign {tasks[index].spec!r} failed in worker: {payload!r}"

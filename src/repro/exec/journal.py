@@ -1,0 +1,346 @@
+"""Crash-safe campaign journaling — kill a campaign, resume it bit-identically.
+
+The paper's completeness argument (stop only when MCMC mixing diagnostics
+say more samples won't change the estimate) implies *long* campaigns, and
+long campaigns die: OOM-killed workers, pre-empted nodes, Ctrl-C. Without
+durability every completed sample dies with them.
+
+:class:`CampaignJournal` is an append-only JSONL ledger of completed
+campaign tasks. Each record is keyed by a deterministic *task key* built
+from the spec's content fingerprint plus its RNG coordinates
+``(seed, stream, p)`` and the target-spec scope. Because every campaign
+draws exclusively from named RNG substreams derived from exactly those
+coordinates, a journaled result **is** the result the task would produce
+if re-run — so a resumed campaign skips journaled work and is bit-identical
+to an uninterrupted one, regardless of worker count or completion order.
+
+Durability discipline:
+
+* every record is flushed and ``fsync``'d before the executor moves on —
+  a SIGKILL loses at most the in-flight task, never a completed one;
+* each line embeds a content checksum; a torn or corrupt trailing line
+  (the crash signature of an append-only file) is detected and dropped
+  rather than poisoning the resume;
+* the header carries an optional campaign *fingerprint*; reopening a
+  journal under a different fingerprint (changed spec grid, seed, or
+  budget) raises :class:`JournalMismatchError` instead of silently mixing
+  incompatible results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from typing import Any, Iterable, Mapping
+
+from repro.core.campaign import CampaignResult
+from repro.exec.specs import CampaignSpec
+from repro.utils.logging import get_logger
+from repro.utils.persist import payload_checksum, sanitize_nonfinite
+from repro.faults.targets import TargetSpec
+
+__all__ = [
+    "JournalError",
+    "JournalMismatchError",
+    "CampaignJournal",
+    "spec_fingerprint",
+    "target_fingerprint",
+    "campaign_fingerprint",
+    "task_key",
+    "journal_key",
+    "encode_outcome",
+    "decode_outcome",
+]
+
+_LOGGER = get_logger("exec.journal")
+
+_MAGIC = "bdlfi-campaign-journal"
+_VERSION = 1
+
+
+class JournalError(RuntimeError):
+    """The journal file is unusable (missing, not a journal, wrong version)."""
+
+
+class JournalMismatchError(JournalError):
+    """The journal belongs to a different campaign than the one resuming."""
+
+
+# ---------------------------------------------------------------------- #
+# fingerprints and task keys
+# ---------------------------------------------------------------------- #
+
+
+def _primitive(value: Any) -> Any:
+    """Canonical JSON-friendly view of a spec field, deterministic across runs."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (list, tuple)):
+        return [_primitive(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_primitive(item) for item in value)
+    if isinstance(value, Mapping):
+        return {str(key): _primitive(item) for key, item in sorted(value.items())}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__type__": type(value).__name__,
+            **{
+                field.name: _primitive(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if hasattr(value, "__dict__"):  # fault models, completeness criteria, …
+        return {
+            "__type__": type(value).__name__,
+            **{key: _primitive(item) for key, item in sorted(vars(value).items())},
+        }
+    return repr(value)
+
+
+def spec_fingerprint(spec: CampaignSpec) -> str:
+    """Content hash of a campaign spec (kind + every field, canonicalised)."""
+    payload = _primitive(spec)
+    payload["kind"] = spec.kind
+    return hashlib.sha256(payload_checksum(payload).encode("utf-8")).hexdigest()
+
+
+def target_fingerprint(target_spec: TargetSpec | None) -> str:
+    """Content hash of a target spec; ``None`` hashes like the default spec."""
+    return hashlib.sha256(
+        payload_checksum(_primitive(target_spec or TargetSpec())).encode("utf-8")
+    ).hexdigest()
+
+
+def campaign_fingerprint(specs: Iterable[CampaignSpec], seed: int) -> str:
+    """Campaign-level identity: the spec grid plus the root seed.
+
+    Stored in the journal header; a resume under a different fingerprint
+    (different p grid, budget, method, or seed) is rejected loudly.
+    """
+    payload = {"seed": int(seed), "specs": [spec_fingerprint(spec) for spec in specs]}
+    return payload_checksum(payload)
+
+
+def task_key(spec: CampaignSpec, seed: int, scope: str = "") -> str:
+    """Deterministic journal key for one schedulable campaign task.
+
+    The key is the task's full RNG identity — ``(seed, stream, p)`` plus
+    the spec content fingerprint and the target-spec scope — so equal keys
+    mean bit-identical campaigns and any change to the task re-runs it.
+    """
+    return (
+        f"{spec.kind}:{spec.stream}:p={spec.p!r}:seed={int(seed)}"
+        f":spec={spec_fingerprint(spec)[:16]}:scope={scope[:16]}"
+    )
+
+
+def journal_key(task) -> str:
+    """Journal key for a :class:`~repro.exec.executor.CampaignTask`."""
+    return task_key(
+        task.spec,
+        seed=task.recipe.seed,
+        scope=target_fingerprint(task.recipe.target_spec),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# outcome codec
+# ---------------------------------------------------------------------- #
+
+
+def encode_outcome(outcome) -> dict:
+    """JSON payload for a campaign outcome (plain result or tempered pair)."""
+    if isinstance(outcome, tuple):
+        result, weighted = outcome
+        return {
+            "type": "tempered_pair",
+            "result": result.to_dict(),
+            "weighted": sanitize_nonfinite(float(weighted)),
+        }
+    if not isinstance(outcome, CampaignResult):
+        raise TypeError(f"cannot journal outcome of type {type(outcome).__name__}")
+    return {"type": "campaign", "result": outcome.to_dict()}
+
+
+def decode_outcome(payload: dict):
+    """Inverse of :func:`encode_outcome`."""
+    kind = payload.get("type")
+    if kind == "tempered_pair":
+        from repro.utils.persist import float_from_json
+
+        return (
+            CampaignResult.from_dict(payload["result"]),
+            float_from_json(payload.get("weighted")),
+        )
+    if kind == "campaign":
+        return CampaignResult.from_dict(payload["result"])
+    raise JournalError(f"unknown journal outcome type {kind!r}")
+
+
+# ---------------------------------------------------------------------- #
+# the journal
+# ---------------------------------------------------------------------- #
+
+
+class CampaignJournal:
+    """Append-only, fsync'd JSONL ledger of completed campaign tasks.
+
+    Parameters
+    ----------
+    path:
+        Journal file. Created (with a header line) if absent; replayed if
+        present.
+    fingerprint:
+        Optional campaign fingerprint (see :func:`campaign_fingerprint`).
+        When both the header and the caller provide one, they must match.
+    """
+
+    def __init__(self, path: str, fingerprint: str | None = None) -> None:
+        self.path = os.path.abspath(path)
+        self.fingerprint = fingerprint
+        self._entries: dict[str, dict] = {}
+        self._dropped_lines = 0
+        #: successful lookups this session (tasks served without re-running)
+        self.hits = 0
+        if os.path.exists(self.path):
+            self._replay()
+        else:
+            self._create()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    @classmethod
+    def resume(cls, path: str, fingerprint: str | None = None) -> "CampaignJournal":
+        """Open an *existing* journal; missing file is an error (no silent restart)."""
+        if not os.path.exists(path):
+            raise JournalError(
+                f"cannot resume: no journal at {path!r} "
+                "(run once without resuming to create it)"
+            )
+        return cls(path, fingerprint=fingerprint)
+
+    # ------------------------------------------------------------------ #
+    # creation / replay
+    # ------------------------------------------------------------------ #
+
+    def _create(self) -> None:
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        header = {"journal": _MAGIC, "version": _VERSION, "fingerprint": self.fingerprint}
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, allow_nan=False) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _replay(self) -> None:
+        with open(self.path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            raise JournalError(f"{self.path}: empty file is not a journal")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise JournalError(f"{self.path}: unreadable journal header") from exc
+        if not isinstance(header, dict) or header.get("journal") != _MAGIC:
+            raise JournalError(f"{self.path}: not a campaign journal")
+        if int(header.get("version", 0)) > _VERSION:
+            raise JournalError(
+                f"{self.path}: journal version {header.get('version')} is newer than "
+                f"supported version {_VERSION}"
+            )
+        recorded = header.get("fingerprint")
+        if recorded is not None and self.fingerprint is not None and recorded != self.fingerprint:
+            raise JournalMismatchError(
+                f"{self.path}: journal was written for a different campaign "
+                f"(journal fingerprint {recorded[:12]}…, current campaign "
+                f"{self.fingerprint[:12]}…); the spec grid, budget, or seed changed"
+            )
+        if self.fingerprint is None:
+            self.fingerprint = recorded
+        for number, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # The crash signature of an append-only file: a torn final
+                # line. Drop it (and anything after it) — the task simply
+                # re-runs on resume.
+                self._dropped_lines += len(lines) - number + 1
+                _LOGGER.warning(
+                    "%s: dropping torn journal line %d (and %d following); "
+                    "the affected task(s) will re-run",
+                    self.path, number, len(lines) - number,
+                )
+                break
+            if (
+                not isinstance(entry, dict)
+                or "key" not in entry
+                or entry.get("sha") != _entry_checksum(entry.get("outcome"))
+            ):
+                self._dropped_lines += 1
+                _LOGGER.warning(
+                    "%s: dropping corrupt journal entry at line %d", self.path, number
+                )
+                continue
+            self._entries[entry["key"]] = entry["outcome"]
+
+    # ------------------------------------------------------------------ #
+    # reads / writes
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def dropped_lines(self) -> int:
+        """Torn/corrupt lines dropped during replay (crash forensics)."""
+        return self._dropped_lines
+
+    def keys(self) -> list[str]:
+        return list(self._entries)
+
+    def get(self, key: str):
+        """Decoded outcome for ``key``, or ``None`` if not journaled."""
+        payload = self._entries.get(key)
+        if payload is None:
+            return None
+        self.hits += 1
+        return decode_outcome(payload)
+
+    def record(self, key: str, outcome) -> None:
+        """Append one completed task; durable (fsync'd) before returning."""
+        if key in self._entries:
+            return  # idempotent: re-recording a journaled task is a no-op
+        payload = sanitize_nonfinite(encode_outcome(outcome))
+        entry = {"key": key, "sha": _entry_checksum(payload), "outcome": payload}
+        self._handle.write(json.dumps(entry, allow_nan=False) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._entries[key] = payload
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"CampaignJournal(path={self.path!r}, entries={len(self)})"
+
+
+def _entry_checksum(outcome_payload) -> str:
+    """Short content checksum guarding each journal line against corruption."""
+    return payload_checksum(outcome_payload)[:16]

@@ -42,6 +42,21 @@ class TemperingResult:
     betas: tuple[float, ...]
     swap_acceptance: float
 
+    def to_dict(self) -> dict:
+        """JSON-clean summary: the ``nan`` swap-acceptance sentinel (no swap
+        attempts) serialises as ``null`` rather than invalid-JSON ``NaN``."""
+        from repro.utils.persist import sanitize_nonfinite
+
+        return sanitize_nonfinite(
+            {
+                "rung_means": list(self.rung_means),
+                "betas": list(self.betas),
+                "swap_acceptance": self.swap_acceptance,
+                "chains": len(self.cold_chains),
+                "steps": self.cold_chains.steps,
+            }
+        )
+
 
 class ParallelTemperingSampler:
     """Replica-exchange MH over fault configurations.

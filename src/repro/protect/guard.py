@@ -49,6 +49,32 @@ class GuardEvaluation:
             "residual_flip_rate": self.residual_flip_rate,
         }
 
+    def to_dict(self) -> dict[str, float | None]:
+        """JSON-clean record: the ``nan`` sentinel (no flips observed)
+        serialises as ``null`` rather than invalid-JSON ``NaN``."""
+        from repro.utils.persist import sanitize_nonfinite
+
+        return sanitize_nonfinite(
+            {
+                "threshold": self.threshold,
+                "flagged_fraction": self.flagged_fraction,
+                "capture_fraction": self.capture_fraction,
+                "residual_flip_rate": self.residual_flip_rate,
+            }
+        )
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "GuardEvaluation":
+        """Inverse of :meth:`to_dict`; ``null`` restores to ``nan``."""
+        from repro.utils.persist import float_from_json
+
+        return cls(
+            threshold=float_from_json(payload.get("threshold")),
+            flagged_fraction=float_from_json(payload.get("flagged_fraction")),
+            capture_fraction=float_from_json(payload.get("capture_fraction")),
+            residual_flip_rate=float_from_json(payload.get("residual_flip_rate")),
+        )
+
 
 class MarginGuard:
     """Flag inputs whose top-2 logit margin falls below a threshold."""

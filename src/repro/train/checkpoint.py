@@ -4,46 +4,103 @@ Checkpoints are plain ``.npz`` archives of the flat ``state_dict`` plus a
 ``__meta__/…`` namespace for scalars (accuracy, seed, epoch). Campaigns
 load the golden weights with :func:`load_checkpoint` before constructing
 the Bayesian fault model.
+
+Writes are atomic — the archive is assembled in a temporary file in the
+target directory, fsync'd, and moved into place with ``os.replace`` — and
+carry a SHA-256 content checksum over every array's name, dtype, shape,
+and raw bytes. :func:`load_checkpoint` re-verifies the checksum, so a
+golden checkpoint can neither be torn by a crash mid-save nor silently
+bit-rot under a campaign.
 """
 
 from __future__ import annotations
 
+import hashlib
+import io
 import os
+import tempfile
 
 import numpy as np
 
 from repro.nn.module import Module
+from repro.utils.persist import ChecksumError, _fsync_directory
 
 __all__ = ["save_checkpoint", "load_checkpoint"]
 
 _META_PREFIX = "__meta__/"
+_CHECKSUM_KEY = _META_PREFIX + "__checksum__"
+
+
+def _payload_checksum(payload: dict[str, np.ndarray]) -> str:
+    """SHA-256 over (name, dtype, shape, bytes) of every entry, sorted by name."""
+    digest = hashlib.sha256()
+    for key in sorted(payload):
+        array = np.ascontiguousarray(payload[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
 
 
 def save_checkpoint(model: Module, path: str, **metadata: float | int | str) -> None:
-    """Write the model ``state_dict`` and scalar metadata to ``path`` (npz)."""
+    """Atomically write the model ``state_dict`` and scalar metadata (npz)."""
     payload: dict[str, np.ndarray] = dict(model.state_dict())
     for key, value in metadata.items():
         if "/" in key:
             raise ValueError(f"metadata key may not contain '/': {key!r}")
         payload[_META_PREFIX + key] = np.asarray(value)
+    payload[_CHECKSUM_KEY] = np.asarray(_payload_checksum(payload))
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    np.savez(path, **payload)
+    # np.savez appends ".npz" to bare paths, so write via an in-memory
+    # buffer and land the bytes through tmp-file + os.replace ourselves.
+    buffer = io.BytesIO()
+    np.savez(buffer, **payload)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(buffer.getvalue())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    _fsync_directory(directory)
 
 
 def load_checkpoint(model: Module, path: str) -> dict[str, object]:
     """Load weights saved by :func:`save_checkpoint` into ``model``.
 
-    Returns the metadata dict (scalars converted back to Python types).
+    Verifies the embedded content checksum when present (checkpoints from
+    before checksumming load unverified) and returns the metadata dict
+    (scalars converted back to Python types, checksum excluded).
     """
     with np.load(path, allow_pickle=False) as archive:
         state: dict[str, np.ndarray] = {}
         metadata: dict[str, object] = {}
+        recorded: str | None = None
+        payload: dict[str, np.ndarray] = {}
         for key in archive.files:
+            if key == _CHECKSUM_KEY:
+                recorded = str(archive[key])
+                continue
+            payload[key] = archive[key]
             if key.startswith(_META_PREFIX):
                 value = archive[key]
                 metadata[key[len(_META_PREFIX):]] = value.item() if value.ndim == 0 else value
             else:
                 state[key] = archive[key]
+    if recorded is not None:
+        actual = _payload_checksum(payload)
+        if actual != recorded:
+            raise ChecksumError(
+                f"{path}: checkpoint checksum mismatch "
+                f"(recorded {recorded[:12]}…, actual {actual[:12]}…); file is corrupt"
+            )
     model.load_state_dict(state)
     return metadata

@@ -7,6 +7,14 @@ This package centralises how those generators are created and split.
 
 from repro.utils.rng import RngFactory, as_generator, spawn_generators
 from repro.utils.logging import get_logger
+from repro.utils.persist import (
+    ChecksumError,
+    atomic_write_bytes,
+    atomic_write_json,
+    float_from_json,
+    read_checked_json,
+    sanitize_nonfinite,
+)
 from repro.utils.timing import Timer
 
 __all__ = [
@@ -15,4 +23,10 @@ __all__ = [
     "spawn_generators",
     "get_logger",
     "Timer",
+    "ChecksumError",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "float_from_json",
+    "read_checked_json",
+    "sanitize_nonfinite",
 ]

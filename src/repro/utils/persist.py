@@ -1,0 +1,183 @@
+"""Crash-safe result persistence: atomic writes, checksums, JSON-clean floats.
+
+Long campaigns die to crashes, OOM kills, and Ctrl-C; a half-written
+result file is worse than no file, because downstream analysis silently
+reads garbage. Every persistence path in the library therefore goes
+through this module:
+
+* **Atomicity** — payloads are written to a temporary file in the target
+  directory, flushed and fsync'd, then moved into place with
+  ``os.replace``. Readers only ever observe the old file or the complete
+  new one, never a torn write.
+* **Integrity** — JSON payloads embed a SHA-256 content checksum
+  (``__checksum__``) computed over the canonical serialisation;
+  :func:`read_checked_json` recomputes and verifies it, raising
+  :class:`ChecksumError` on silent corruption. Files written before
+  checksumming existed (no ``__checksum__`` key) still load.
+* **JSON cleanliness** — ``NaN``/``Infinity`` are not valid JSON, yet
+  campaign records legitimately contain them (undefined swap acceptance,
+  diverged R-hat). :func:`sanitize_nonfinite` maps ``nan`` to ``null``
+  and infinities to the strings ``"inf"``/``"-inf"``;
+  :func:`float_from_json` restores them on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import tempfile
+from typing import Any, Mapping
+
+__all__ = [
+    "ChecksumError",
+    "sanitize_nonfinite",
+    "float_from_json",
+    "canonical_dumps",
+    "payload_checksum",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "read_checked_json",
+]
+
+#: key carrying the embedded content checksum in JSON files
+CHECKSUM_KEY = "__checksum__"
+
+
+class ChecksumError(RuntimeError):
+    """A persisted file's content does not match its recorded checksum."""
+
+
+# ---------------------------------------------------------------------- #
+# JSON-clean floats
+# ---------------------------------------------------------------------- #
+
+
+def sanitize_nonfinite(value: Any) -> Any:
+    """Recursively replace non-finite floats with JSON-representable values.
+
+    ``nan`` becomes ``None`` (JSON ``null``), ``inf``/``-inf`` become the
+    strings ``"inf"``/``"-inf"``. Containers are rebuilt; everything else
+    passes through untouched.
+    """
+    if isinstance(value, float):
+        if math.isnan(value):
+            return None
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, dict):
+        return {key: sanitize_nonfinite(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [sanitize_nonfinite(item) for item in value]
+    return value
+
+
+def float_from_json(value: object, default: float = float("nan")) -> float:
+    """Inverse of :func:`sanitize_nonfinite` for scalar float fields.
+
+    ``None`` maps back to ``nan`` (or ``default``), ``"inf"``/``"-inf"``
+    to the infinities, anything else through ``float()``.
+    """
+    if value is None:
+        return default
+    if value == "inf":
+        return float("inf")
+    if value == "-inf":
+        return float("-inf")
+    return float(value)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------- #
+# checksums
+# ---------------------------------------------------------------------- #
+
+
+def canonical_dumps(payload: Any, default=None) -> str:
+    """Deterministic JSON serialisation (sorted keys, tight separators).
+
+    ``allow_nan=False`` makes any unsanitised non-finite float a loud
+    error instead of silently-invalid JSON.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False, default=default
+    )
+
+
+def payload_checksum(payload: Any, default=None) -> str:
+    """SHA-256 hex digest of the canonical JSON serialisation."""
+    return hashlib.sha256(canonical_dumps(payload, default=default).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------- #
+# atomic writes
+# ---------------------------------------------------------------------- #
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush the directory entry so the rename itself survives a crash."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # platforms/filesystems without directory fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tmp file + fsync + replace)."""
+    path = os.path.abspath(path)
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+    _fsync_directory(directory)
+
+
+def atomic_write_json(path: str, payload: Mapping[str, Any], default=None) -> None:
+    """Atomically write a JSON mapping with an embedded content checksum.
+
+    The payload is NaN-sanitised first, so records containing sentinel
+    ``nan`` fields serialise to valid JSON (``null``).
+    """
+    clean = sanitize_nonfinite(dict(payload))
+    record = {CHECKSUM_KEY: payload_checksum(clean, default=default), **clean}
+    text = json.dumps(record, indent=2, allow_nan=False, default=default)
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def read_checked_json(path: str) -> dict:
+    """Load a JSON mapping written by :func:`atomic_write_json`.
+
+    Verifies the embedded checksum when present (legacy files without one
+    load unverified) and strips it from the returned dict.
+    """
+    with open(path, encoding="utf-8") as handle:
+        record = json.load(handle)
+    if not isinstance(record, dict):
+        raise ChecksumError(f"{path}: expected a JSON object, got {type(record).__name__}")
+    recorded = record.pop(CHECKSUM_KEY, None)
+    if recorded is not None:
+        actual = payload_checksum(record)
+        if actual != recorded:
+            raise ChecksumError(
+                f"{path}: content checksum mismatch "
+                f"(recorded {recorded[:12]}…, actual {actual[:12]}…); file is corrupt"
+            )
+    return record

@@ -151,3 +151,97 @@ class TestSweepLayerwiseBoundary:
                     "boundary", golden_checkpoint, "--workbench", "mlp-images",
                 ]
             )
+
+
+class TestDurableCampaigns:
+    """--journal/--resume plumbing and its argument validation."""
+
+    def _sweep_argv(self, checkpoint, *extra):
+        return [
+            "sweep", checkpoint, "--workbench", "mlp-moons",
+            "--points", "5", "--samples", "20", *extra,
+        ]
+
+    def test_resume_requires_journal_flag(self, golden_checkpoint):
+        with pytest.raises(SystemExit, match="--resume requires --journal"):
+            main(self._sweep_argv(golden_checkpoint, "--resume"))
+
+    def test_resume_requires_existing_journal(self, golden_checkpoint, tmp_path):
+        missing = str(tmp_path / "absent.jsonl")
+        with pytest.raises(SystemExit, match="run once without --resume"):
+            main(self._sweep_argv(golden_checkpoint, "--journal", missing, "--resume"))
+
+    def test_fresh_run_refuses_existing_journal(self, golden_checkpoint, tmp_path, capsys):
+        journal = str(tmp_path / "sweep.jsonl")
+        assert main(self._sweep_argv(golden_checkpoint, "--journal", journal)) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="pass --resume"):
+            main(self._sweep_argv(golden_checkpoint, "--journal", journal))
+
+    def test_fingerprint_mismatch_rejected(self, golden_checkpoint, tmp_path, capsys):
+        journal = str(tmp_path / "sweep.jsonl")
+        assert main(self._sweep_argv(golden_checkpoint, "--journal", journal)) == 0
+        capsys.readouterr()
+        # different seed ⇒ different campaign fingerprint ⇒ loud refusal
+        with pytest.raises(SystemExit, match="different campaign"):
+            main(
+                self._sweep_argv(
+                    golden_checkpoint, "--journal", journal, "--resume", "--seed", "7"
+                )
+            )
+
+    def test_invalid_worker_count_rejected(self, golden_checkpoint):
+        with pytest.raises(SystemExit, match="--workers must be >= 1"):
+            main(self._sweep_argv(golden_checkpoint, "--workers", "0"))
+
+    def test_resumed_sweep_matches_uninterrupted_output(self, golden_checkpoint, tmp_path, capsys):
+        journal = str(tmp_path / "sweep.jsonl")
+        argv = self._sweep_argv(golden_checkpoint)
+        assert main(argv) == 0
+        uninterrupted = capsys.readouterr().out
+        assert main(argv + ["--journal", journal]) == 0
+        capsys.readouterr()
+        assert main(argv + ["--journal", journal, "--resume"]) == 0
+        resumed = capsys.readouterr().out
+        assert "restored" in resumed
+
+        def error_column(text):
+            rows = [line for line in text.splitlines() if line.strip() and line[0].isdigit()]
+            return [row.split()[1] for row in rows]
+
+        assert error_column(resumed) == error_column(uninterrupted)
+
+    def test_campaign_command_journals(self, golden_checkpoint, tmp_path, capsys):
+        journal = str(tmp_path / "campaign.jsonl")
+        argv = [
+            "campaign", golden_checkpoint, "--workbench", "mlp-moons",
+            "--p", "1e-3", "--samples", "30", "--journal", journal,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "journal: 1 campaign(s) recorded" in first
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "1 campaign(s) restored" in second
+
+        def error_line(text):
+            return [line for line in text.splitlines() if "mean_error_pct" in line]
+
+        assert os.path.exists(journal)
+
+    def test_layerwise_journal_resume(self, golden_checkpoint, tmp_path, capsys):
+        journal = str(tmp_path / "layers.jsonl")
+        argv = [
+            "layerwise", golden_checkpoint, "--workbench", "mlp-moons",
+            "--p", "5e-3", "--samples", "20", "--journal", journal,
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr().out
+
+        def error_column(text):
+            rows = [line for line in text.splitlines() if line.strip() and line[0].isdigit()]
+            return [row.split()[2] for row in rows]
+
+        assert error_column(first) == error_column(second)

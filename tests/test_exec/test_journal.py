@@ -1,0 +1,333 @@
+"""Campaign journal: durability, fingerprinting, and bit-identical resume."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.injector import BayesianFaultInjector
+from repro.core.layerwise import LayerwiseCampaign
+from repro.core.sweep import ProbabilitySweep
+from repro.data import two_moons
+from repro.exec import (
+    CampaignJournal,
+    ForwardSpec,
+    InjectorRecipe,
+    JournalError,
+    JournalMismatchError,
+    McmcSpec,
+    ParallelCampaignExecutor,
+    campaign_fingerprint,
+    task_key,
+)
+from repro.exec.journal import decode_outcome, encode_outcome, spec_fingerprint
+from repro.nn import paper_mlp
+
+P_GRID = (1e-4, 1e-3, 1e-2, 5e-2)
+SPEC = ForwardSpec(p=1e-4, samples=16, chains=2)
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """Deterministic (model, eval batch): untrained but fully seeded."""
+    model = paper_mlp(rng=0).eval()
+    eval_x, eval_y = two_moons(60, noise=0.12, rng=1)
+    return model, eval_x, eval_y
+
+
+@pytest.fixture(scope="module")
+def baseline(setup):
+    """The uninterrupted sweep every resume scenario must reproduce."""
+    model, eval_x, eval_y = setup
+    injector = BayesianFaultInjector(model, eval_x, eval_y, seed=SEED)
+    return ProbabilitySweep(injector, p_values=P_GRID, spec=SPEC).run()
+
+
+def strip_durations(record: dict) -> dict:
+    """Result record minus wall-clock fields (identical math, different clock)."""
+    record = dict(record)
+    record.pop("duration_s", None)
+    summary = dict(record.get("summary", {}))
+    summary.pop("duration_s", None)
+    record["summary"] = summary
+    return record
+
+
+def assert_bit_identical(sweep_a, sweep_b):
+    for pa, pb in zip(sweep_a.points, sweep_b.points):
+        assert np.array_equal(pa.campaign.posterior.samples, pb.campaign.posterior.samples)
+        assert strip_durations(pa.campaign.to_dict()) == strip_durations(pb.campaign.to_dict())
+
+
+class TestJournalFile:
+    def test_record_get_round_trip(self, tmp_path, baseline):
+        journal = CampaignJournal(str(tmp_path / "j.jsonl"))
+        campaign = baseline.points[0].campaign
+        journal.record("k1", campaign)
+        restored = journal.get("k1")
+        assert np.array_equal(restored.posterior.samples, campaign.posterior.samples)
+        assert restored.to_dict() == campaign.to_dict()
+        assert "k1" in journal and len(journal) == 1
+        assert journal.get("missing") is None
+
+    def test_record_is_idempotent_and_durable(self, tmp_path, baseline):
+        path = str(tmp_path / "j.jsonl")
+        journal = CampaignJournal(path)
+        campaign = baseline.points[0].campaign
+        journal.record("k1", campaign)
+        journal.record("k1", campaign)  # duplicate: no second line
+        journal.close()
+        lines = open(path).read().splitlines()
+        assert len(lines) == 2  # header + one entry
+        reopened = CampaignJournal(path)
+        assert len(reopened) == 1
+
+    def test_resume_requires_existing_file(self, tmp_path):
+        with pytest.raises(JournalError, match="no journal"):
+            CampaignJournal.resume(str(tmp_path / "absent.jsonl"))
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        CampaignJournal(path, fingerprint="aaaa" * 16).close()
+        with pytest.raises(JournalMismatchError, match="different campaign"):
+            CampaignJournal.resume(path, fingerprint="bbbb" * 16)
+        # same fingerprint reopens fine
+        CampaignJournal.resume(path, fingerprint="aaaa" * 16).close()
+
+    def test_non_journal_file_rejected(self, tmp_path):
+        path = str(tmp_path / "noise.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"something": "else"}\n')
+        with pytest.raises(JournalError, match="not a campaign journal"):
+            CampaignJournal(path)
+
+    def test_newer_version_rejected(self, tmp_path):
+        path = str(tmp_path / "future.jsonl")
+        with open(path, "w") as handle:
+            handle.write('{"journal": "bdlfi-campaign-journal", "version": 99}\n')
+        with pytest.raises(JournalError, match="newer"):
+            CampaignJournal(path)
+
+    def test_torn_tail_dropped(self, tmp_path, baseline):
+        """A crash mid-append leaves a torn final line; replay drops it."""
+        path = str(tmp_path / "j.jsonl")
+        journal = CampaignJournal(path)
+        journal.record("k1", baseline.points[0].campaign)
+        journal.record("k2", baseline.points[1].campaign)
+        journal.close()
+        text = open(path).read()
+        with open(path, "w") as handle:
+            handle.write(text[: len(text) - 40])  # tear the last record
+        reopened = CampaignJournal(path)
+        assert len(reopened) == 1
+        assert "k1" in reopened and "k2" not in reopened
+        assert reopened.dropped_lines >= 1
+
+    def test_corrupt_entry_checksum_skipped(self, tmp_path, baseline):
+        path = str(tmp_path / "j.jsonl")
+        journal = CampaignJournal(path)
+        journal.record("k1", baseline.points[0].campaign)
+        journal.close()
+        lines = open(path).read().splitlines()
+        entry = json.loads(lines[1])
+        entry["outcome"]["result"]["seed"] = 999  # flip content, keep sha
+        with open(path, "w") as handle:
+            handle.write(lines[0] + "\n" + json.dumps(entry) + "\n")
+        reopened = CampaignJournal(path)
+        assert "k1" not in reopened
+        assert reopened.dropped_lines == 1
+
+
+class TestKeysAndFingerprints:
+    def test_task_key_distinguishes_rng_coordinates(self):
+        base = task_key(SPEC, seed=1)
+        assert task_key(SPEC.with_p(2e-4), seed=1) != base
+        assert task_key(SPEC, seed=2) != base
+        assert task_key(McmcSpec(p=1e-4, chains=2, steps=8), seed=1) != base
+        assert task_key(SPEC, seed=1, scope="x" * 16) != base
+        assert task_key(SPEC, seed=1) == base
+
+    def test_spec_fingerprint_tracks_content(self):
+        assert spec_fingerprint(SPEC) == spec_fingerprint(ForwardSpec(p=1e-4, samples=16, chains=2))
+        assert spec_fingerprint(SPEC) != spec_fingerprint(ForwardSpec(p=1e-4, samples=17, chains=2))
+
+    def test_campaign_fingerprint_tracks_grid_and_seed(self):
+        specs = [SPEC.with_p(p) for p in P_GRID]
+        fp = campaign_fingerprint(specs, SEED)
+        assert campaign_fingerprint(specs, SEED) == fp
+        assert campaign_fingerprint(specs, SEED + 1) != fp
+        assert campaign_fingerprint(specs[:-1], SEED) != fp
+
+    def test_outcome_codec_handles_tempered_pairs(self, baseline):
+        campaign = baseline.points[0].campaign
+        pair = (campaign, 0.125)
+        payload = encode_outcome(pair)
+        assert payload["type"] == "tempered_pair"
+        restored_campaign, weighted = decode_outcome(json.loads(json.dumps(payload)))
+        assert weighted == 0.125
+        assert restored_campaign.to_dict() == campaign.to_dict()
+
+    def test_unjournalable_outcome_rejected(self):
+        with pytest.raises(TypeError):
+            encode_outcome(object())
+
+
+class TestKillAndResume:
+    """Truncate a journal mid-campaign, resume, and demand bit-identity."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_truncated_journal_resumes_bit_identically(self, tmp_path, setup, baseline, workers):
+        model, eval_x, eval_y = setup
+        path = str(tmp_path / f"sweep-{workers}.jsonl")
+        specs = [SPEC.with_p(float(p)) for p in P_GRID]
+        fingerprint = campaign_fingerprint(specs, SEED)
+
+        # full journaled run, then truncate to header + 2 entries ("crash")
+        injector = BayesianFaultInjector(model, eval_x, eval_y, seed=SEED)
+        journal = CampaignJournal(path, fingerprint=fingerprint)
+        ProbabilitySweep(injector, p_values=P_GRID, spec=SPEC, journal=journal).run()
+        journal.close()
+        lines = open(path).read().splitlines()
+        assert len(lines) == 1 + len(P_GRID)
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines[:3]) + "\n")
+
+        # resume with the requested worker count
+        resumed_journal = CampaignJournal.resume(path, fingerprint=fingerprint)
+        executor = None
+        if workers > 1:
+            recipe = InjectorRecipe.from_model(model, eval_x, eval_y, seed=SEED)
+            executor = ParallelCampaignExecutor(recipe, workers=workers, journal=resumed_journal)
+        resumed = ProbabilitySweep(
+            BayesianFaultInjector(model, eval_x, eval_y, seed=SEED),
+            p_values=P_GRID, spec=SPEC,
+            executor=executor, journal=resumed_journal,
+        ).run()
+        if executor is not None:
+            assert executor.stats.journal_hits == 2
+        assert len(resumed_journal) == len(P_GRID)
+        assert_bit_identical(baseline, resumed)
+
+    def test_layerwise_resume_bit_identical(self, tmp_path, setup):
+        model, eval_x, eval_y = setup
+        kwargs = dict(p=5e-3, samples=12, chains=1, seed=SEED)
+        uninterrupted = LayerwiseCampaign(model, eval_x, eval_y, **kwargs).run()
+
+        path = str(tmp_path / "layers.jsonl")
+        journal = CampaignJournal(path)
+        LayerwiseCampaign(model, eval_x, eval_y, journal=journal, **kwargs).run()
+        journal.close()
+        lines = open(path).read().splitlines()
+        with open(path, "w") as handle:  # keep the first layer only
+            handle.write("\n".join(lines[:2]) + "\n")
+
+        resumed = LayerwiseCampaign(
+            model, eval_x, eval_y, journal=CampaignJournal.resume(path), **kwargs
+        ).run()
+        for a, b in zip(uninterrupted.results, resumed.results):
+            assert a.layer == b.layer
+            assert np.array_equal(a.campaign.posterior.samples, b.campaign.posterior.samples)
+            assert strip_durations(a.campaign.to_dict()) == strip_durations(b.campaign.to_dict())
+
+    def test_sequential_journal_resumes_under_executor(self, tmp_path, setup, baseline):
+        """Task keys are execution-mode independent: a journal written by the
+        sequential path must satisfy a parallel executor, and vice versa."""
+        model, eval_x, eval_y = setup
+        path = str(tmp_path / "cross.jsonl")
+        injector = BayesianFaultInjector(model, eval_x, eval_y, seed=SEED)
+        journal = CampaignJournal(path)
+        ProbabilitySweep(injector, p_values=P_GRID, spec=SPEC, journal=journal).run()
+        journal.close()
+
+        recipe = InjectorRecipe.from_model(model, eval_x, eval_y, seed=SEED)
+        executor = ParallelCampaignExecutor(
+            recipe, workers=2, journal=CampaignJournal.resume(path)
+        )
+        resumed = ProbabilitySweep(
+            injector, p_values=P_GRID, spec=SPEC, executor=executor
+        ).run()
+        assert executor.stats.journal_hits == len(P_GRID)
+        assert_bit_identical(baseline, resumed)
+
+
+_CHILD_SCRIPT = """
+import sys, time
+from repro.core.injector import BayesianFaultInjector
+from repro.core.sweep import ProbabilitySweep
+from repro.data import two_moons
+from repro.exec import CampaignJournal, ForwardSpec
+from repro.nn import paper_mlp
+
+journal_path = sys.argv[1]
+
+# Slow each campaign down so the parent can SIGKILL mid-sweep.
+original_run = BayesianFaultInjector.run
+def slow_run(self, spec):
+    time.sleep(0.2)
+    return original_run(self, spec)
+BayesianFaultInjector.run = slow_run
+
+model = paper_mlp(rng=0).eval()
+eval_x, eval_y = two_moons(60, noise=0.12, rng=1)
+injector = BayesianFaultInjector(model, eval_x, eval_y, seed={seed})
+sweep = ProbabilitySweep(
+    injector, p_values={p_grid!r},
+    spec=ForwardSpec(p=1e-4, samples=16, chains=2),
+    journal=CampaignJournal(journal_path),
+)
+print("child ready", flush=True)
+sweep.run()
+print("child finished", flush=True)
+"""
+
+
+class TestSigkillResume:
+    def test_sigkilled_sweep_resumes_bit_identically(self, tmp_path, setup, baseline):
+        """Hard-kill (SIGKILL) a journaled sweep mid-campaign; the journal
+        must replay cleanly and the resumed sweep must match an
+        uninterrupted run bit-for-bit."""
+        model, eval_x, eval_y = setup
+        path = str(tmp_path / "killed.jsonl")
+        script = _CHILD_SCRIPT.format(seed=SEED, p_grid=P_GRID)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        child = subprocess.Popen(
+            [sys.executable, "-c", script, path],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            # wait until at least one campaign is durably journaled, then kill
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if os.path.exists(path) and len(open(path).read().splitlines()) >= 2:
+                    break
+                if child.poll() is not None:
+                    pytest.fail(f"child exited early:\n{child.stdout.read().decode()}")
+                time.sleep(0.02)
+            else:
+                pytest.fail("child never journaled a campaign")
+            os.kill(child.pid, signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+            child.stdout.close()
+        assert child.returncode == -signal.SIGKILL
+
+        journal = CampaignJournal.resume(path)
+        completed_before_kill = len(journal)
+        assert 1 <= completed_before_kill <= len(P_GRID)
+
+        injector = BayesianFaultInjector(model, eval_x, eval_y, seed=SEED)
+        resumed = ProbabilitySweep(
+            injector, p_values=P_GRID, spec=SPEC, journal=journal
+        ).run()
+        assert len(journal) == len(P_GRID)
+        assert_bit_identical(baseline, resumed)

@@ -89,7 +89,10 @@ class TestInjectorIntegration:
         )
         p = 1e-2
         forward = injector.forward_campaign(p, samples=300)
-        tempered = injector.parallel_tempering_campaign(p, chains=2, sweeps=150)
+        # hazard rows counting as errors widens the statistic's spread, so
+        # the MCMC side needs a larger budget for the means to meet inside
+        # the same tolerance
+        tempered = injector.parallel_tempering_campaign(p, chains=4, sweeps=400)
         assert tempered.mean_error == pytest.approx(forward.mean_error, abs=0.07)
         assert tempered.method.startswith("tempering")
 

@@ -1,0 +1,127 @@
+"""Atomic, checksummed persistence primitives."""
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.utils.persist import (
+    CHECKSUM_KEY,
+    ChecksumError,
+    atomic_write_bytes,
+    atomic_write_json,
+    canonical_dumps,
+    float_from_json,
+    payload_checksum,
+    read_checked_json,
+    sanitize_nonfinite,
+)
+
+
+class TestSanitize:
+    def test_nan_becomes_null(self):
+        clean = sanitize_nonfinite({"a": float("nan"), "b": [1.0, float("nan")]})
+        assert clean == {"a": None, "b": [1.0, None]}
+
+    def test_infinities_become_strings(self):
+        clean = sanitize_nonfinite([float("inf"), float("-inf"), 2.5])
+        assert clean == ["inf", "-inf", 2.5]
+
+    def test_finite_values_pass_through_exactly(self):
+        value = 0.1 + 0.2  # not exactly 0.3; must not be perturbed
+        assert sanitize_nonfinite({"v": value})["v"] == value
+
+    def test_sanitized_payload_is_valid_json(self):
+        clean = sanitize_nonfinite({"r_hat": float("nan"), "ess": float("inf")})
+        text = json.dumps(clean, allow_nan=False)  # raises if any NaN survived
+        assert json.loads(text) == {"r_hat": None, "ess": "inf"}
+
+    def test_float_from_json_restores(self):
+        assert math.isnan(float_from_json(None))
+        assert float_from_json(None, default=0.0) == 0.0
+        assert float_from_json("inf") == float("inf")
+        assert float_from_json("-inf") == float("-inf")
+        assert float_from_json(1.25) == 1.25
+
+    def test_round_trip_through_json_text(self):
+        payload = {"nan": float("nan"), "inf": float("inf"), "x": 3.14}
+        restored = json.loads(json.dumps(sanitize_nonfinite(payload), allow_nan=False))
+        assert math.isnan(float_from_json(restored["nan"]))
+        assert float_from_json(restored["inf"]) == float("inf")
+        assert restored["x"] == 3.14
+
+
+class TestChecksums:
+    def test_canonical_dumps_is_order_insensitive(self):
+        assert canonical_dumps({"b": 1, "a": 2}) == canonical_dumps({"a": 2, "b": 1})
+
+    def test_checksum_changes_with_content(self):
+        assert payload_checksum({"x": 1}) != payload_checksum({"x": 2})
+
+    def test_unsanitised_nan_is_a_loud_error(self):
+        with pytest.raises(ValueError):
+            canonical_dumps({"x": float("nan")})
+
+
+class TestAtomicWrites:
+    def test_json_round_trip(self, tmp_path):
+        path = str(tmp_path / "result.json")
+        payload = {"series": [1.0, 2.5], "name": "E1", "nan_field": float("nan")}
+        atomic_write_json(path, payload)
+        record = read_checked_json(path)
+        assert record["series"] == [1.0, 2.5]
+        assert record["name"] == "E1"
+        assert record["nan_field"] is None
+        assert CHECKSUM_KEY not in record
+
+    def test_corruption_detected(self, tmp_path):
+        path = str(tmp_path / "result.json")
+        atomic_write_json(path, {"value": 1.0})
+        text = open(path).read().replace("1.0", "2.0")
+        with open(path, "w") as handle:
+            handle.write(text)
+        with pytest.raises(ChecksumError, match="checksum mismatch"):
+            read_checked_json(path)
+
+    def test_legacy_file_without_checksum_loads(self, tmp_path):
+        path = str(tmp_path / "legacy.json")
+        with open(path, "w") as handle:
+            json.dump({"value": 7}, handle)
+        assert read_checked_json(path) == {"value": 7}
+
+    def test_leftover_tmp_file_is_harmless(self, tmp_path):
+        """A crash between tmp-write and rename leaves only a .tmp orphan:
+        the real path either has the old content or the new, never garbage."""
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"generation": 1})
+        # simulate the debris of a crashed second write
+        with open(path + ".orphan.tmp", "w") as handle:
+            handle.write('{"generation": 2, "torn":')
+        assert read_checked_json(path)["generation"] == 1
+
+    def test_write_replaces_atomically(self, tmp_path):
+        path = str(tmp_path / "out.bin")
+        atomic_write_bytes(path, b"old")
+        atomic_write_bytes(path, b"new")
+        assert open(path, "rb").read() == b"new"
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+
+    def test_failed_serialisation_leaves_no_debris(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"obj": object()})
+        assert not os.path.exists(path)
+        assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+
+    def test_numpy_scalars_survive_checksum_verification(self, tmp_path):
+        """Writer-side numpy types must hash identically to the plain-JSON
+        values a reader recomputes the checksum from."""
+        path = str(tmp_path / "np.json")
+        atomic_write_json(
+            path,
+            {"arr": np.array([1.0, 2.0]).tolist(), "n": int(np.int64(5))},
+        )
+        record = read_checked_json(path)
+        assert record == {"arr": [1.0, 2.0], "n": 5}
