@@ -19,6 +19,13 @@ campaign to a crash-safe, fsync'd journal; after a crash, re-running the
 same command with ``--resume`` skips completed campaigns and produces
 results bit-identical to an uninterrupted run.
 
+``--trace PATH`` / ``--metrics PATH`` / ``--progress [PATH]``
+(campaign/sweep/layerwise/assess) turn on the :mod:`repro.obs`
+instrumentation: a Chrome-trace JSON timeline (open in Perfetto), the
+reduced campaign metrics digest, and a live progress stream (MCMC mixing
+diagnostics, sweep points, worker heartbeats) to stderr or a JSONL file.
+Instrumented runs are bit-identical to bare ones.
+
 A *workbench* bundles a model architecture with its matched dataset, both
 reproducible from seeds, so a checkpoint plus a workbench name fully
 determines an experiment. Available workbenches: ``mlp-moons`` (the paper's
@@ -38,6 +45,7 @@ from typing import Callable
 
 import numpy as np
 
+import repro.obs as obs
 from repro.analysis import format_table, heatmap, line_plot
 from repro.core import BayesianFaultInjector, DecisionBoundaryAnalysis, LayerwiseCampaign, ProbabilitySweep
 from repro.data import ArrayDataset, DataLoader, SyntheticImageConfig, make_synthetic_images, two_moons
@@ -57,6 +65,8 @@ from repro.nn import LeNet, MLP, paper_mlp
 from repro.nn.models import resnet18_cifar_small
 from repro.nn.module import Module
 from repro.train import Adam, Trainer, load_checkpoint, save_checkpoint
+from repro.utils.logging import set_verbosity
+from repro.utils.persist import atomic_write_json
 
 __all__ = ["main", "build_parser", "WORKBENCHES", "Workbench", "build_workbench_model"]
 
@@ -191,6 +201,59 @@ def _validate_workers(args) -> None:
         raise SystemExit(f"--workers must be >= 1, got {args.workers}")
 
 
+def _add_observability(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome-trace JSON of the run (open in Perfetto or chrome://tracing)",
+    )
+    group.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the campaign metrics digest (counters/gauges/histograms) as JSON",
+    )
+    group.add_argument(
+        "--progress", nargs="?", const="-", default=None, metavar="PATH",
+        help="stream live progress events (MCMC mixing, sweep points, worker heartbeats); "
+             "to stderr by default, or as JSONL to PATH",
+    )
+    group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="raise library log verbosity (-v INFO, -vv DEBUG); propagated to workers",
+    )
+
+
+def _setup_observability(args) -> None:
+    """Install the instruments requested on the command line (process-global)."""
+    verbose = getattr(args, "verbose", 0)
+    if verbose:
+        set_verbosity("DEBUG" if verbose > 1 else "INFO")
+    if getattr(args, "trace", None):
+        obs.configure(tracer=True)
+    if getattr(args, "metrics", None):
+        obs.configure(metrics=True)
+    progress = getattr(args, "progress", None)
+    if progress is not None:
+        obs.configure(progress=obs.StderrSink() if progress == "-" else obs.JsonlSink(progress))
+
+
+def _finalize_observability(args) -> None:
+    """Flush requested artifacts; runs even when the command fails (partial data helps)."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path and obs.tracer().enabled:
+        obs.tracer().save(trace_path)
+        print(f"trace written to {trace_path} (open in Perfetto)", file=sys.stderr)
+    metrics_path = getattr(args, "metrics", None)
+    registry = obs.metrics()
+    if metrics_path and registry is not None:
+        atomic_write_json(metrics_path, registry.snapshot())
+        print(f"metrics written to {metrics_path}", file=sys.stderr)
+
+
+def _print_executor_summary(executor) -> None:
+    if executor is not None:
+        print(f"executor: {executor.stats.summary()}")
+
+
 def _open_journal(args, specs) -> CampaignJournal | None:
     """Open/create the campaign journal requested on the command line.
 
@@ -282,6 +345,7 @@ def _cmd_campaign(args) -> int:
     if campaign.completeness is not None:
         print(campaign.completeness)
     _print_journal_status(journal, executor)
+    _print_executor_summary(executor)
     return 0
 
 
@@ -298,6 +362,7 @@ def _cmd_sweep(args) -> int:
         injector, p_values=p_values, spec=base_spec, executor=executor, journal=journal
     ).run()
     _print_journal_status(journal, executor)
+    _print_executor_summary(executor)
     print(format_table(sweep.table()))
     print()
     print(
@@ -331,6 +396,7 @@ def _cmd_layerwise(args) -> int:
         model_builder=functools.partial(build_workbench_model, args.workbench),
     ).run()
     _print_journal_status(journal, executor)
+    _print_executor_summary(executor)
     print(format_table(campaign.table(), columns=["depth", "layer", "error_pct", "parameters"]))
     stats = campaign.depth_correlation()
     print(f"\ndepth vs error: Spearman rho = {stats['spearman_rho']:+.3f} (p = {stats['spearman_p']:.3f})")
@@ -412,6 +478,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, help="worker processes for campaign execution"
     )
     _add_durability(campaign)
+    _add_observability(campaign)
     campaign.set_defaults(handler=_cmd_campaign)
 
     sweep = subparsers.add_parser("sweep", help="error vs flip-probability sweep (Figs. 2/4)")
@@ -426,6 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes; one campaign per sweep point fans out over the pool",
     )
     _add_durability(sweep)
+    _add_observability(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     layerwise = subparsers.add_parser("layerwise", help="per-layer campaign (Fig. 3)")
@@ -437,12 +505,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes; one campaign per layer fans out over the pool",
     )
     _add_durability(layerwise)
+    _add_observability(layerwise)
     layerwise.set_defaults(handler=_cmd_layerwise)
 
     assess = subparsers.add_parser("assess", help="full resilience assessment report")
     _add_common(assess)
     assess.add_argument("--samples", type=int, default=100, help="campaign draws per sweep point")
     assess.add_argument("--out", default=None, help="also write the markdown report here")
+    _add_observability(assess)
     assess.set_defaults(handler=_cmd_assess)
 
     boundary = subparsers.add_parser("boundary", help="decision-boundary map (Fig. 1 (3))")
@@ -459,7 +529,12 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    _setup_observability(args)
+    try:
+        return args.handler(args)
+    finally:
+        _finalize_observability(args)
+        obs.reset()
 
 
 if __name__ == "__main__":

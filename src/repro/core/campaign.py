@@ -49,6 +49,10 @@ class CampaignResult:
     duration_s: float = 0.0
     #: numerical-hazard accounting (stamped by ``BayesianFaultInjector.run``)
     hazard: HazardReport | None = None
+    #: per-campaign metrics digest — a :meth:`repro.obs.MetricsRegistry.snapshot`
+    #: dict stamped by ``BayesianFaultInjector.run``; rides through the journal
+    #: and worker pipes so the driver can reduce exact totals from anywhere
+    metrics: dict | None = None
 
     @property
     def mean_error(self) -> float:
@@ -66,9 +70,16 @@ class CampaignResult:
 
     @property
     def evaluations_per_second(self) -> float:
-        """Campaign throughput; ``inf`` when no duration was recorded."""
+        """Campaign throughput; ``nan`` when no duration was recorded.
+
+        Sub-millisecond campaigns (and results restored from records
+        written before durations existed) have ``duration_s == 0``; a
+        rate is undefined there, so this returns ``nan`` — which the
+        JSON sanitiser maps to ``null`` and :meth:`summary_row` renders
+        as ``n/a`` — rather than ``inf`` or a ZeroDivisionError.
+        """
         if self.duration_s <= 0.0:
-            return float("inf")
+            return float("nan")
         return self.total_evaluations / self.duration_s
 
     @property
@@ -90,6 +101,8 @@ class CampaignResult:
             "evaluations": self.total_evaluations,
             "duration_s": self.duration_s,
         }
+        rate = self.evaluations_per_second
+        row["evals_per_s"] = "n/a" if np.isnan(rate) else rate
         if self.hazard is not None:
             row["hazard_pct"] = 100.0 * self.hazard.hazard_fraction
         if self.completeness is not None:
@@ -131,6 +144,8 @@ class CampaignResult:
             }
         if self.hazard is not None:
             record["hazard"] = self.hazard.to_dict()
+        if self.metrics is not None:
+            record["metrics"] = self.metrics
         return sanitize_nonfinite(record)
 
     @classmethod
@@ -186,6 +201,7 @@ class CampaignResult:
             discard_fraction=float(record.get("discard_fraction", 0.0)),
             duration_s=float_from_json(record.get("duration_s", 0.0), default=0.0),
             hazard=hazard,
+            metrics=record.get("metrics"),
         )
 
     def save(self, path: str) -> None:

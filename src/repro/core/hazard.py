@@ -114,6 +114,15 @@ class HazardReport:
     def from_dict(cls, payload: dict) -> "HazardReport":
         return cls(**{key: int(payload.get(key, 0)) for key in cls.__dataclass_fields__})
 
+    def metrics_counters(self) -> dict[str, int]:
+        """Counter increments for the campaign metrics digest.
+
+        Namespaced views of :meth:`to_dict`, so campaign telemetry
+        (``hazard.rows`` et al.) stays exactly equal to the authoritative
+        per-campaign hazard accounting it is derived from.
+        """
+        return {f"hazard.{key}": value for key, value in self.to_dict().items()}
+
     def __str__(self) -> str:
         return (
             f"HazardReport({self.hazard_rows}/{self.rows} rows quarantined "

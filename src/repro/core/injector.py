@@ -33,6 +33,9 @@ import dataclasses
 
 import numpy as np
 
+import repro.obs as obs
+from repro.bits.fields import field_mask
+from repro.bits.float32 import count_set_bits
 from repro.core.campaign import CampaignResult
 from repro.core.hazard import NumericalHazardGuard
 from repro.exec.specs import (
@@ -60,6 +63,7 @@ from repro.mcmc.forward import ForwardSampler
 from repro.mcmc.metropolis import MetropolisHastingsSampler
 from repro.mcmc.mixing import CompletenessCriterion
 from repro.mcmc.proposals import BlockResample, MixtureProposal, SingleBitToggle
+from repro.obs.metrics import MetricsRegistry
 from repro.mcmc.targets import PriorTarget, TemperedErrorTarget
 from repro.nn.module import Module
 from repro.tensor.tensor import Tensor, no_grad
@@ -71,6 +75,29 @@ from repro.utils.timing import Timer
 __all__ = ["BayesianFaultInjector"]
 
 _LOGGER = get_logger("core")
+
+#: sign/exponent/mantissa masks, precomputed for the per-flip field taxonomy
+_FIELD_MASKS = tuple((field, field_mask(field)) for field in ("sign", "exponent", "mantissa"))
+
+
+def _record_configuration(metrics, configuration: FaultConfiguration) -> None:
+    """Detailed per-evaluation counters: flips by IEEE-754 field and by layer.
+
+    Runs on the statistic hot path, but only when a driver registry is
+    attached (``--metrics`` / ``obs.configure(metrics=...)``). Counts are
+    pure functions of the configuration, so sequential and parallel runs
+    reduce to identical totals.
+    """
+    metrics.inc("forward_passes")
+    for name, mask in configuration.items():
+        flips = count_set_bits(mask)
+        if not flips:
+            continue
+        metrics.inc(f"flips.layer.{name}", flips)
+        for field, bits in _FIELD_MASKS:
+            in_field = count_set_bits(mask & bits)
+            if in_field:
+                metrics.inc(f"flips.field.{field}", in_field)
 
 
 class BayesianFaultInjector:
@@ -111,6 +138,10 @@ class BayesianFaultInjector:
         self._rng_factory = RngFactory(seed)
         #: hazard guard of the campaign currently executing under :meth:`run`
         self._active_guard: NumericalHazardGuard | None = None
+        #: campaign-local registry for *detailed* (per-flip) metrics; only set
+        #: while :meth:`run` executes with a driver registry attached, so the
+        #: hot path costs one attribute check when detailed metrics are off
+        self._active_metrics: MetricsRegistry | None = None
 
         self.parameter_targets = resolve_parameter_targets(model, self.spec)
         self.activation_modules = resolve_activation_modules(model, self.spec)
@@ -172,6 +203,8 @@ class BayesianFaultInjector:
         hazard_guard = guard or self._active_guard or NumericalHazardGuard()
 
         def statistic(configuration: FaultConfiguration) -> float:
+            if self._active_metrics is not None:
+                _record_configuration(self._active_metrics, configuration)
             if self._wants_parameters:
                 parameter_context = apply_configuration(self.model, configuration)
             else:  # transient-only campaign; the configuration is a placeholder
@@ -215,19 +248,60 @@ class BayesianFaultInjector:
         if handler is None:
             raise ValueError(f"no executor for campaign kind {spec.kind!r}")
         guard = NumericalHazardGuard()
+        campaign_metrics = MetricsRegistry()
         self._active_guard = guard
+        # per-flip detail is only recorded when a driver registry is attached;
+        # the authoritative digest below is stamped unconditionally
+        if obs.metrics() is not None:
+            self._active_metrics = campaign_metrics
         try:
-            with Timer() as timer:
-                outcome = handler(spec)
+            with obs.span(f"campaign.{spec.kind}", p=spec.p, stream=getattr(spec, "stream", None)):
+                with Timer() as timer:
+                    outcome = handler(spec)
         finally:
             self._active_guard = None
+            self._active_metrics = None
         hazard = guard.report()
         if hazard.any_hazard:
             _LOGGER.info("campaign %s: %s", spec.kind, hazard)
-        if isinstance(outcome, tuple):
-            result, weighted = outcome
-            return dataclasses.replace(result, duration_s=timer.elapsed, hazard=hazard), weighted
-        return dataclasses.replace(outcome, duration_s=timer.elapsed, hazard=hazard)
+        is_pair = isinstance(outcome, tuple)
+        result = outcome[0] if is_pair else outcome
+        result = dataclasses.replace(result, duration_s=timer.elapsed, hazard=hazard)
+        digest = self._campaign_digest(campaign_metrics, result)
+        result = dataclasses.replace(result, metrics=digest)
+        obs.merge_metrics(digest)
+        if is_pair:
+            return result, outcome[1]
+        return result
+
+    @staticmethod
+    def _campaign_digest(registry: MetricsRegistry, result: CampaignResult) -> dict:
+        """Stamp the authoritative per-campaign counters and freeze a snapshot.
+
+        These counters are derived from the campaign's own accounting
+        (chains, hazard report) rather than hot-path hooks, so they cost
+        nothing during sampling, are exactly reproducible, and reduce to
+        identical totals whether the campaign ran in-process or on a
+        worker (the digest rides on the result through pipes and the
+        journal). The registry may additionally hold detailed per-flip
+        counters recorded inline when a driver registry was attached.
+        """
+        chains = result.chains
+        proposal_steps = len(chains) * chains.steps
+        registry.inc("campaigns")
+        registry.inc("evaluations", result.total_evaluations)
+        registry.inc("flips.applied", chains.total_flips())
+        registry.inc("proposal.steps", proposal_steps)
+        registry.inc("proposal.accepted", chains.accepted_total())
+        if result.hazard is not None:
+            for name, value in result.hazard.metrics_counters().items():
+                registry.inc(name, value)
+        registry.set_gauge("accept_rate", chains.accepted_total() / max(1, proposal_steps))
+        if result.completeness is not None:
+            registry.set_gauge("r_hat", result.completeness.r_hat)
+            registry.set_gauge("ess", result.completeness.ess)
+        registry.observe("campaign.duration_s", result.duration_s)
+        return registry.snapshot()
 
     # ------------------------------------------------------------------ #
     # campaigns (thin wrappers building specs)
@@ -481,6 +555,23 @@ class BayesianFaultInjector:
             chain_set = ChainSet(chain_objs)
             report = criterion.assess(chain_set)
             _LOGGER.info("adaptive campaign p=%g: %s", p, report)
+            if obs.progress() is not None:
+                # live view: diagnostics over the trailing window alongside the
+                # full-history report, so late drift is visible as it happens
+                live = criterion.assess_window(chain_set, max(4, 2 * spec.batch_steps))
+                obs.publish(
+                    "adaptive.progress",
+                    p=p,
+                    steps=chain_set.steps,
+                    complete=report.complete,
+                    r_hat=report.r_hat,
+                    ess=report.ess,
+                    mcse=report.mcse,
+                    estimate=report.estimate,
+                    window_r_hat=live.r_hat,
+                    window_ess=live.ess,
+                    window_estimate=live.estimate,
+                )
             if report.complete:
                 break
         chain_set = ChainSet(chain_objs)

@@ -19,6 +19,7 @@ from typing import Callable
 import numpy as np
 from scipy import stats as sps
 
+import repro.obs as obs
 from repro.core.campaign import CampaignResult
 from repro.core.injector import BayesianFaultInjector
 from repro.exec.executor import CampaignTask, InjectorRecipe, ParallelCampaignExecutor
@@ -140,6 +141,7 @@ class LayerwiseCampaign:
                 cached = self.journal.get(key)
                 if cached is not None:
                     _LOGGER.info("journal hit for layer %s; skipping re-run", layer)
+                    obs.merge_campaign_metrics(cached)
                     campaigns.append(cached)
                     continue
             injector = BayesianFaultInjector(
@@ -154,7 +156,9 @@ class LayerwiseCampaign:
 
     def run(self) -> "LayerwiseCampaign":
         self.results = []
-        campaigns = self._campaigns()
+        obs.publish("layerwise.start", layers=len(self.layers), p=self.p)
+        with obs.span("layerwise", layers=len(self.layers), p=self.p):
+            campaigns = self._campaigns()
         for depth, (layer, campaign) in enumerate(zip(self.layers, campaigns)):
             lo, hi = campaign.posterior.credible_interval()
             params = sum(
@@ -173,6 +177,13 @@ class LayerwiseCampaign:
                 )
             )
             _LOGGER.info("layer %s (depth %d): %s", layer, depth, campaign)
+            obs.publish(
+                "layerwise.layer",
+                layer=layer,
+                depth=depth,
+                mean_error=campaign.mean_error,
+                parameters=params,
+            )
         return self
 
     # ------------------------------------------------------------------ #

@@ -23,6 +23,7 @@ from typing import Callable, Union
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.campaign import CampaignResult
 from repro.core.injector import BayesianFaultInjector
 from repro.core.knee import TwoRegimeFit, fit_two_regimes, truncate_saturated_tail
@@ -129,14 +130,17 @@ class ProbabilitySweep:
         """Execute a campaign per probability point (idempotent: clears old points)."""
         self.points = []
         specs = [self.spec_for(float(p)) for p in self.p_values]
-        if self.executor is not None:
-            if self.journal is not None:
-                self.executor.journal = self.journal
-            campaigns = self.executor.run(specs)
-        elif self.journal is not None:
-            campaigns = self._run_journaled(specs)
-        else:
-            campaigns = [self.injector.run(spec) for spec in specs]
+        obs.publish("sweep.start", points=len(specs), p_min=float(self.p_values[0]),
+                    p_max=float(self.p_values[-1]))
+        with obs.span("sweep", points=len(specs)):
+            if self.executor is not None:
+                if self.journal is not None:
+                    self.executor.journal = self.journal
+                campaigns = self.executor.run(specs)
+            elif self.journal is not None:
+                campaigns = self._run_journaled(specs)
+            else:
+                campaigns = [self.injector.run(spec) for spec in specs]
         for p, campaign in zip(self.p_values, campaigns):
             if isinstance(campaign, tuple):  # TemperedSpec: (result, weighted error)
                 campaign = campaign[0]
@@ -150,6 +154,14 @@ class ProbabilitySweep:
                     mean_flips=campaign.mean_flips,
                     campaign=campaign,
                 )
+            )
+            obs.publish(
+                "sweep.point",
+                p=float(p),
+                mean_error=campaign.mean_error,
+                ci_lo=lo,
+                ci_hi=hi,
+                hazard_fraction=campaign.hazard_fraction,
             )
             _LOGGER.info("sweep point %s", campaign)
         return self
@@ -170,6 +182,9 @@ class ProbabilitySweep:
             cached = self.journal.get(key)
             if cached is not None:
                 _LOGGER.info("journal hit for p=%g; skipping re-run", spec.p)
+                # the run that produced this digest merged in another
+                # process/session; this is its one chance to reach totals
+                obs.merge_campaign_metrics(cached)
                 campaigns.append(cached)
                 continue
             outcome = self.injector.run(spec)

@@ -38,6 +38,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
+import repro.obs as obs
 from repro.exec.specs import CampaignSpec
 from repro.faults.targets import TargetSpec
 from repro.utils.logging import get_logger
@@ -154,6 +155,24 @@ class ExecutionStats:
     parallel: bool = False
     #: tasks satisfied from the campaign journal instead of being re-run
     journal_hits: int = 0
+    #: liveness beats emitted for still-running workers (``heartbeat_s``)
+    heartbeats: int = 0
+
+    def summary(self) -> str:
+        """One-line completion summary (printed by the CLI)."""
+        mode = "parallel" if self.parallel else "sequential"
+        line = f"{self.tasks} task(s) in {self.duration_s:.2f}s ({mode})"
+        extras = [
+            f"{name} {value}"
+            for name, value in (
+                ("journal hits", self.journal_hits),
+                ("retries", self.retries),
+                ("timeouts", self.timeouts),
+                ("crashes", self.crashes),
+            )
+            if value
+        ]
+        return f"{line}; {', '.join(extras)}" if extras else line
 
 
 @dataclass
@@ -161,14 +180,27 @@ class _Running:
     process: multiprocessing.process.BaseProcess
     connection: Any
     deadline: float | None
+    started: float = 0.0
+    last_beat: float = 0.0
 
 
-def _worker_main(task: CampaignTask, connection) -> None:
-    """Worker entry point: rebuild the injector, run the spec, ship the result."""
+def _worker_main(task: CampaignTask, connection, obs_config=None) -> None:
+    """Worker entry point: rebuild the injector, run the spec, ship the result.
+
+    ``obs_config`` is the driver's :class:`~repro.obs.WorkerObsConfig`:
+    applying it first replaces any observability state inherited through
+    ``fork`` (and the default WARNING verbosity under spawn) with fresh
+    instruments, so worker logs honour the driver's ``set_verbosity`` and
+    worker trace events never duplicate driver-recorded ones. Worker-side
+    observations ride home as a third tuple element on the result pipe.
+    """
     try:
-        injector = task.recipe.build()
-        result = injector.run(task.spec)
-        connection.send(("ok", result))
+        if obs_config is not None:
+            obs.apply_worker_config(obs_config)
+        with obs.span("worker.task", kind=task.spec.kind, p=task.spec.p):
+            injector = task.recipe.build()
+            result = injector.run(task.spec)
+        connection.send(("ok", result, obs.drain_worker_report()))
     except BaseException as exc:  # noqa: BLE001 — everything must cross the pipe
         try:
             connection.send(("error", exc))
@@ -206,6 +238,11 @@ class ParallelCampaignExecutor:
         tasks are durably recorded (fsync before scheduling continues) and
         journaled tasks are served from the journal instead of re-running —
         bit-identically, since task keys encode the full RNG identity.
+    heartbeat_s:
+        Liveness interval for still-running workers. Every ``heartbeat_s``
+        seconds a running task emits an ``executor.heartbeat`` progress
+        event (task index, worker pid, elapsed time), so a hung worker is
+        visible long before its timeout fires. ``None`` disables beats.
     """
 
     def __init__(
@@ -216,6 +253,7 @@ class ParallelCampaignExecutor:
         max_attempts: int = 3,
         start_method: str | None = None,
         journal=None,
+        heartbeat_s: float | None = None,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -225,12 +263,15 @@ class ParallelCampaignExecutor:
             raise ValueError(f"timeout_s must be positive, got {timeout_s}")
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if heartbeat_s is not None and heartbeat_s <= 0:
+            raise ValueError(f"heartbeat_s must be positive, got {heartbeat_s}")
         self.recipe = recipe
         self.workers = workers
         self.timeout_s = timeout_s
         self.max_attempts = max_attempts
         self._start_method = start_method
         self.journal = journal
+        self.heartbeat_s = heartbeat_s
         self.stats = ExecutionStats()
 
     # ------------------------------------------------------------------ #
@@ -254,6 +295,7 @@ class ParallelCampaignExecutor:
         try:
             if not tasks:
                 return []
+            obs.publish("executor.start", tasks=len(tasks), workers=self.workers)
             results: list[Any] = [None] * len(tasks)
             keys, pending = self._partition(tasks, results)
             if not pending:
@@ -271,6 +313,31 @@ class ParallelCampaignExecutor:
             return results
         finally:
             self.stats.duration_s = time.perf_counter() - started
+            self._flush_stats()
+
+    def _flush_stats(self) -> None:
+        """Fold executor bookkeeping into the metrics registry and progress stream."""
+        stats = self.stats
+        registry = obs.metrics()
+        if registry is not None:
+            registry.inc("executor.tasks", stats.tasks)
+            registry.inc("executor.retries", stats.retries)
+            registry.inc("executor.timeouts", stats.timeouts)
+            registry.inc("executor.crashes", stats.crashes)
+            registry.inc("executor.journal_hits", stats.journal_hits)
+            registry.inc("executor.heartbeats", stats.heartbeats)
+            registry.observe("executor.duration_s", stats.duration_s)
+        obs.publish(
+            "executor.complete",
+            tasks=stats.tasks,
+            duration_s=stats.duration_s,
+            parallel=stats.parallel,
+            journal_hits=stats.journal_hits,
+            retries=stats.retries,
+            timeouts=stats.timeouts,
+            crashes=stats.crashes,
+            heartbeats=stats.heartbeats,
+        )
 
     # ------------------------------------------------------------------ #
     # journal plumbing
@@ -289,6 +356,9 @@ class ParallelCampaignExecutor:
             if cached is not None:
                 results[index] = cached
                 self.stats.journal_hits += 1
+                # journaled results never re-run, so their stamped digest is
+                # the only way their work reaches the driver's totals
+                obs.merge_campaign_metrics(cached)
             else:
                 pending.append(index)
         if self.stats.journal_hits:
@@ -322,9 +392,12 @@ class ParallelCampaignExecutor:
             recipe_key = id(task.recipe)
             if recipe_key not in injectors:
                 injectors[recipe_key] = task.recipe.build()
+            # injector.run merges the campaign digest in-process here, so
+            # this path must not merge again (that would double-count)
             outcome = injectors[recipe_key].run(task.spec)
             results[index] = outcome
             self._record(keys[index], outcome)
+            obs.publish("executor.task_done", task=index, campaign=task.spec.kind, p=task.spec.p)
 
     # ------------------------------------------------------------------ #
     # process-per-task scheduler
@@ -337,9 +410,9 @@ class ParallelCampaignExecutor:
             return multiprocessing.get_context("fork")
         return multiprocessing.get_context()
 
-    def _spawn(self, ctx, task: CampaignTask) -> _Running:
+    def _spawn(self, ctx, task: CampaignTask, obs_config) -> _Running:
         parent, child = ctx.Pipe(duplex=False)
-        process = ctx.Process(target=_worker_main, args=(task, child), daemon=True)
+        process = ctx.Process(target=_worker_main, args=(task, child, obs_config), daemon=True)
         try:
             process.start()
         except (OSError, PermissionError, ValueError) as exc:
@@ -347,8 +420,11 @@ class ParallelCampaignExecutor:
             child.close()
             raise _PoolUnavailable(str(exc)) from exc
         child.close()  # the worker holds the write end now
-        deadline = None if self.timeout_s is None else time.monotonic() + self.timeout_s
-        return _Running(process=process, connection=parent, deadline=deadline)
+        now = time.monotonic()
+        deadline = None if self.timeout_s is None else now + self.timeout_s
+        return _Running(
+            process=process, connection=parent, deadline=deadline, started=now, last_beat=now
+        )
 
     def _execute_parallel(
         self,
@@ -358,6 +434,7 @@ class ParallelCampaignExecutor:
         keys: Sequence,
     ) -> None:
         ctx = self._context()
+        obs_config = obs.worker_config()
         attempts = {index: 0 for index in pending_indexes}
         pending: deque[int] = deque(pending_indexes)
         running: dict[int, _Running] = {}
@@ -366,7 +443,7 @@ class ParallelCampaignExecutor:
                 while pending and len(running) < self.workers:
                     index = pending.popleft()
                     attempts[index] += 1
-                    running[index] = self._spawn(ctx, tasks[index])
+                    running[index] = self._spawn(ctx, tasks[index], obs_config)
                 progressed = self._poll(tasks, results, keys, attempts, pending, running)
                 if not progressed and running:
                     time.sleep(0.005)
@@ -383,9 +460,11 @@ class ParallelCampaignExecutor:
             entry = running[index]
             if entry.connection.poll(0):
                 try:
-                    status, payload = entry.connection.recv()
+                    message = entry.connection.recv()
+                    status, payload = message[0], message[1]
+                    report = message[2] if len(message) > 2 else None
                 except EOFError:  # died mid-send
-                    status, payload = None, None
+                    status, payload, report = None, None, None
                 self._reap(entry)
                 del running[index]
                 progressed = True
@@ -394,6 +473,7 @@ class ParallelCampaignExecutor:
                     # journal from the driver: a later worker SIGKILL can
                     # never take this completed task down with it
                     self._record(keys[index], payload)
+                    self._absorb(tasks[index], index, payload, report)
                 elif status == "error":
                     raise CampaignExecutionError(
                         f"campaign {tasks[index].spec!r} failed in worker: {payload!r}"
@@ -419,7 +499,44 @@ class ParallelCampaignExecutor:
                 self._retry_or_raise(
                     tasks, attempts, pending, index, f"timed out after {self.timeout_s:g}s"
                 )
+            else:
+                self._maybe_beat(index, entry, attempts[index])
         return progressed
+
+    def _absorb(self, task: CampaignTask, index: int, payload, report) -> None:
+        """Reduce one worker result's observations into the driver.
+
+        The digest stamped on the result carries the worker's metrics
+        (merged here exactly once — the worker's own registry dies with
+        its process); worker trace events merge into the driver tracer,
+        already pid-tagged so Perfetto shows them on worker tracks.
+        """
+        obs.merge_campaign_metrics(payload)
+        if report and report.get("trace"):
+            obs.tracer().merge(report["trace"])
+        obs.publish("executor.task_done", task=index, campaign=task.spec.kind, p=task.spec.p)
+
+    def _maybe_beat(self, index: int, entry: _Running, attempt: int) -> None:
+        """Emit a liveness beat for a still-running worker when one is due."""
+        if self.heartbeat_s is None:
+            return
+        now = time.monotonic()
+        if now - entry.last_beat < self.heartbeat_s:
+            return
+        entry.last_beat = now
+        self.stats.heartbeats += 1
+        elapsed = now - entry.started
+        _LOGGER.info(
+            "task %d still running in pid %s after %.1fs (attempt %d)",
+            index, entry.process.pid, elapsed, attempt,
+        )
+        obs.publish(
+            "executor.heartbeat",
+            task=index,
+            pid=entry.process.pid,
+            elapsed_s=elapsed,
+            attempt=attempt,
+        )
 
     @staticmethod
     def _reap(entry: _Running) -> None:

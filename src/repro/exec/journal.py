@@ -36,6 +36,7 @@ import json
 import os
 from typing import Any, Iterable, Mapping
 
+import repro.obs as obs
 from repro.core.campaign import CampaignResult
 from repro.exec.specs import CampaignSpec
 from repro.utils.logging import get_logger
@@ -322,9 +323,11 @@ class CampaignJournal:
             return  # idempotent: re-recording a journaled task is a no-op
         payload = sanitize_nonfinite(encode_outcome(outcome))
         entry = {"key": key, "sha": _entry_checksum(payload), "outcome": payload}
-        self._handle.write(json.dumps(entry, allow_nan=False) + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        with obs.span("journal.record", category="journal", key=key):
+            self._handle.write(json.dumps(entry, allow_nan=False) + "\n")
+            self._handle.flush()
+            with obs.span("journal.fsync", category="journal"):
+                os.fsync(self._handle.fileno())
         self._entries[key] = payload
 
     def close(self) -> None:

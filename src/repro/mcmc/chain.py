@@ -38,10 +38,38 @@ class Chain:
         return np.asarray(self._flips, dtype=np.int64)
 
     @property
+    def accepts(self) -> np.ndarray:
+        return np.asarray(self._accepts, dtype=bool)
+
+    @property
+    def accepted_count(self) -> int:
+        """Number of accepted MH steps (i.i.d. chains accept every step)."""
+        return int(sum(self._accepts))
+
+    @property
     def acceptance_rate(self) -> float:
         if not self._accepts:
             return float("nan")
         return float(np.mean(self._accepts))
+
+    def recent(self, window: int) -> np.ndarray:
+        """The trailing ``window`` statistic values (all, if shorter).
+
+        The unit of the *live* mixing diagnostics: progress streams look
+        at a sliding window rather than the whole history, so a chain
+        that has drifted shows up while it drifts, not at the post-mortem.
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        return np.asarray(self._values[-window:], dtype=np.float64)
+
+    def recent_acceptance(self, window: int) -> float:
+        """Acceptance rate over the trailing ``window`` steps."""
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        if not self._accepts:
+            return float("nan")
+        return float(np.mean(self._accepts[-window:]))
 
     def tail(self, discard_fraction: float = 0.0) -> np.ndarray:
         """Values after discarding a burn-in prefix."""
@@ -81,3 +109,15 @@ class ChainSet:
 
     def mean(self, discard_fraction: float = 0.0) -> float:
         return float(self.pooled(discard_fraction).mean())
+
+    def recent_matrix(self, window: int) -> np.ndarray:
+        """(num_chains, ≤window) matrix of trailing values (live diagnostics)."""
+        return np.stack([c.recent(window) for c in self.chains])
+
+    def accepted_total(self) -> int:
+        """Accepted steps summed over all chains (telemetry bookkeeping)."""
+        return sum(c.accepted_count for c in self.chains)
+
+    def total_flips(self) -> int:
+        """Flipped-bit count summed over every recorded step of every chain."""
+        return int(sum(int(c.flips.sum()) for c in self.chains))

@@ -14,6 +14,7 @@ from typing import Callable
 
 import numpy as np
 
+import repro.obs as obs
 from repro.faults.configuration import FaultConfiguration
 from repro.faults.model import FaultModel
 from repro.mcmc.chain import Chain, ChainSet
@@ -21,6 +22,9 @@ from repro.nn.module import Parameter
 from repro.utils.rng import spawn_generators
 
 __all__ = ["ForwardSampler"]
+
+#: steps between chain.progress events when a progress sink is attached
+PROGRESS_EVERY = 50
 
 
 class ForwardSampler:
@@ -54,10 +58,21 @@ class ForwardSampler:
         if steps <= 0:
             raise ValueError(f"steps must be positive, got {steps}")
         chain = Chain(chain_id)
-        for _ in range(steps):
-            configuration = FaultConfiguration.sample(self.targets, self.fault_model, rng)
-            value = self.statistic(configuration)
-            chain.record(value, configuration.total_flips(), accepted=True)
+        with obs.span("chain.forward", chain_id=chain_id, steps=steps):
+            for step in range(steps):
+                configuration = FaultConfiguration.sample(self.targets, self.fault_model, rng)
+                value = self.statistic(configuration)
+                chain.record(value, configuration.total_flips(), accepted=True)
+                if obs.progress() is not None and (step + 1) % PROGRESS_EVERY == 0:
+                    window = chain.recent(PROGRESS_EVERY)
+                    obs.publish(
+                        "chain.progress",
+                        sampler="forward",
+                        chain_id=chain_id,
+                        step=step + 1,
+                        steps=steps,
+                        window_mean=float(window.mean()),
+                    )
         return chain
 
     def run(self, chains: int, steps: int, rng) -> ChainSet:

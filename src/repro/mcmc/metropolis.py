@@ -17,8 +17,10 @@ from typing import Callable
 
 import numpy as np
 
+import repro.obs as obs
 from repro.faults.configuration import FaultConfiguration
 from repro.mcmc.chain import Chain, ChainSet
+from repro.mcmc.forward import PROGRESS_EVERY
 from repro.utils.rng import spawn_generators
 
 __all__ = ["MetropolisHastingsSampler"]
@@ -63,15 +65,26 @@ class MetropolisHastingsSampler:
         state_logd = self._log_density(state, state_stat)
 
         chain = Chain(chain_id)
-        for _ in range(steps):
-            candidate, log_hastings = self.proposal.propose(state, rng)
-            candidate_stat = self.statistic(candidate)
-            candidate_logd = self._log_density(candidate, candidate_stat)
-            log_alpha = candidate_logd - state_logd + log_hastings
-            accepted = math.log(rng.random()) < log_alpha if log_alpha < 0 else True
-            if accepted:
-                state, state_stat, state_logd = candidate, candidate_stat, candidate_logd
-            chain.record(state_stat, state.total_flips(), accepted=accepted)
+        with obs.span("chain.mcmc", chain_id=chain_id, steps=steps):
+            for step in range(steps):
+                candidate, log_hastings = self.proposal.propose(state, rng)
+                candidate_stat = self.statistic(candidate)
+                candidate_logd = self._log_density(candidate, candidate_stat)
+                log_alpha = candidate_logd - state_logd + log_hastings
+                accepted = math.log(rng.random()) < log_alpha if log_alpha < 0 else True
+                if accepted:
+                    state, state_stat, state_logd = candidate, candidate_stat, candidate_logd
+                chain.record(state_stat, state.total_flips(), accepted=accepted)
+                if obs.progress() is not None and (step + 1) % PROGRESS_EVERY == 0:
+                    obs.publish(
+                        "chain.progress",
+                        sampler="mcmc",
+                        chain_id=chain_id,
+                        step=step + 1,
+                        steps=steps,
+                        window_mean=float(chain.recent(PROGRESS_EVERY).mean()),
+                        window_acceptance=chain.recent_acceptance(PROGRESS_EVERY),
+                    )
         return chain
 
     def _log_density(self, configuration: FaultConfiguration, statistic_value: float) -> float:

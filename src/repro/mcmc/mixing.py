@@ -44,6 +44,17 @@ class CompletenessReport:
             f"(R-hat={self.r_hat:.3f}, ESS={self.ess:.0f}, steps={self.steps})"
         )
 
+    def to_dict(self) -> dict:
+        """JSON-ready record (the shape persisted by ``CampaignResult``)."""
+        return {
+            "complete": self.complete,
+            "r_hat": self.r_hat,
+            "ess": self.ess,
+            "mcse": self.mcse,
+            "estimate": self.estimate,
+            "steps": self.steps,
+        }
+
 
 class CompletenessCriterion:
     """Thresholds converting diagnostics into a stop decision.
@@ -93,6 +104,33 @@ class CompletenessCriterion:
         return CompletenessReport(
             complete=complete, r_hat=float(r_hat), ess=float(ess), mcse=float(mcse),
             estimate=estimate, steps=chains.steps,
+        )
+
+    def assess_window(self, chains: ChainSet, window: int) -> CompletenessReport:
+        """Diagnostics over the trailing ``window`` steps of each chain.
+
+        The *live* view behind progress streams: where :meth:`assess`
+        judges the whole (post-burn-in) history, this judges only the
+        most recent window, so a campaign that mixed early but drifted
+        late is visible while it happens. The thresholds are the same;
+        ``steps`` reports the window actually used.
+        """
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        matrix = chains.recent_matrix(window)
+        m, n = matrix.shape
+        r_hat = split_r_hat(matrix) if n >= 4 else float("inf")
+        ess = effective_sample_size(matrix) if n >= 4 else 0.0
+        mcse = monte_carlo_standard_error(matrix) if n >= 4 else float("inf")
+        estimate = float(matrix.mean())
+        complete = (
+            bool(r_hat < self.r_hat_threshold)
+            and bool(ess >= self.min_ess)
+            and bool(mcse <= self.stderr_tolerance)
+        )
+        return CompletenessReport(
+            complete=complete, r_hat=float(r_hat), ess=float(ess), mcse=float(mcse),
+            estimate=estimate, steps=n,
         )
 
     def steps_to_complete(self, chains: ChainSet, check_every: int = 25) -> int | None:

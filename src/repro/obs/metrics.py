@@ -1,0 +1,241 @@
+"""Metrics registry: counters, gauges, histograms with snapshot/merge.
+
+Zero-dependency instrumentation primitives for campaign telemetry. A
+:class:`MetricsRegistry` is a named bag of three instrument kinds:
+
+* **counters** — monotonically increasing integer totals (evaluations run,
+  flips applied per bit-field, hazard rows quarantined, worker retries);
+* **gauges** — last-written floating-point values (current acceptance
+  rate, R-hat of the latest assessment, evaluations/s);
+* **histograms** — bucketed distributions (campaign durations, statistic
+  values) with running sum/count/min/max.
+
+The registry is built for *distributed reduction*: :meth:`snapshot`
+freezes everything into a plain, picklable, JSON-clean dict, and
+:meth:`merge` folds such a snapshot back in (counters and histogram
+buckets add, gauges take the incoming value). That is how per-worker
+metrics from :class:`~repro.exec.executor.ParallelCampaignExecutor`
+processes are reduced into the driver: each campaign stamps its own
+digest, the digest rides home on the result, and the driver merges it —
+so a parallel sweep's counters are identical to a sequential run's.
+
+All mutation is lock-guarded, so hook threads and schedulers can record
+into one registry safely.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: default histogram bucket upper bounds (seconds-flavoured log grid)
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0)
+
+
+class Counter:
+    """A monotonically increasing integer total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: cannot decrease by {amount}")
+        self.value += int(amount)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A last-write-wins floating-point value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = float("nan")
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A fixed-bucket distribution with running sum/count/min/max.
+
+    ``bounds`` are the inclusive upper edges of the finite buckets; one
+    implicit overflow bucket catches everything above the last edge, so
+    ``len(counts) == len(bounds) + 1``.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count", "min", "max")
+
+    def __init__(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name!r}: bounds must be non-empty and increasing")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            return  # undefined observations carry no information
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.sum += value
+        self.count += 1
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:g})"
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with snapshot/merge reduction.
+
+    Instruments are created on first use (``registry.counter("x").inc()``)
+    so instrumentation sites never need registration boilerplate.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------ #
+    # instrument access
+    # ------------------------------------------------------------------ #
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, bounds)
+            return instrument
+
+    # convenience one-liners for instrumentation sites
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------ #
+    # reduction
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """Freeze the registry into a plain, picklable, JSON-ready dict."""
+        with self._lock:
+            return {
+                "counters": {name: c.value for name, c in sorted(self._counters.items())},
+                "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+                "histograms": {
+                    name: {
+                        "bounds": list(h.bounds),
+                        "counts": list(h.counts),
+                        "sum": h.sum,
+                        "count": h.count,
+                        "min": h.min if h.count else float("nan"),
+                        "max": h.max if h.count else float("nan"),
+                    }
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge(self, snapshot: dict | None) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histogram buckets add; gauges take the incoming
+        value (last write wins). Histograms under the same name must
+        share bucket bounds. ``None`` merges as a no-op, so callers can
+        pass an optional digest straight through.
+        """
+        if not snapshot:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            if value is not None and not (isinstance(value, float) and math.isnan(value)):
+                self.gauge(name).set(float(value))
+        for name, payload in snapshot.get("histograms", {}).items():
+            bounds = tuple(float(b) for b in payload["bounds"])
+            histogram = self.histogram(name, bounds)
+            if histogram.bounds != bounds:
+                raise ValueError(
+                    f"histogram {name!r}: cannot merge bounds {bounds} into {histogram.bounds}"
+                )
+            with self._lock:
+                for i, count in enumerate(payload["counts"]):
+                    histogram.counts[i] += int(count)
+                histogram.sum += float(payload["sum"])
+                histogram.count += int(payload["count"])
+                incoming_min = payload.get("min")
+                incoming_max = payload.get("max")
+                if incoming_min is not None and not math.isnan(float(incoming_min)):
+                    histogram.min = min(histogram.min, float(incoming_min))
+                if incoming_max is not None and not math.isnan(float(incoming_max)):
+                    histogram.max = max(histogram.max, float(incoming_max))
+
+    def counters(self) -> dict[str, int]:
+        """Current counter totals (the deterministic, order-independent part)."""
+        with self._lock:
+            return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"MetricsRegistry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+            )

@@ -10,7 +10,7 @@ from __future__ import annotations
 import logging
 import sys
 
-__all__ = ["get_logger", "set_verbosity"]
+__all__ = ["get_logger", "set_verbosity", "get_verbosity"]
 
 _FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
 _configured = False
@@ -41,3 +41,15 @@ def set_verbosity(level: int | str) -> None:
     """Set the log level for the whole library (e.g. ``"INFO"`` or ``logging.DEBUG``)."""
     _configure_root()
     logging.getLogger("repro").setLevel(level)
+
+
+def get_verbosity() -> int:
+    """Current numeric log level of the library root logger.
+
+    Executor workers spawn with default logging state; the driver ships
+    this level to them (via :func:`repro.obs.worker_config`) so worker
+    processes honour ``set_verbosity`` instead of silently dropping
+    everything below WARNING.
+    """
+    _configure_root()
+    return logging.getLogger("repro").level

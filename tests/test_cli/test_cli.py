@@ -245,3 +245,66 @@ class TestDurableCampaigns:
             return [row.split()[2] for row in rows]
 
         assert error_column(first) == error_column(second)
+
+
+class TestObservabilityFlags:
+    def test_campaign_writes_trace_metrics_and_progress(
+        self, golden_checkpoint, tmp_path, capsys
+    ):
+        import json
+
+        from repro.utils.persist import read_checked_json
+
+        trace = str(tmp_path / "trace.json")
+        metrics = str(tmp_path / "metrics.json")
+        events = str(tmp_path / "events.jsonl")
+        code = main(
+            [
+                "campaign", golden_checkpoint, "--workbench", "mlp-moons",
+                "--p", "1e-2", "--samples", "60", "--method", "adaptive",
+                "--trace", trace, "--metrics", metrics, "--progress", events,
+            ]
+        )
+        assert code == 0
+        # trace: plain Chrome-trace JSON (no checksum wrapper) with campaign spans
+        with open(trace, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert "__checksum__" not in payload
+        names = {event["name"] for event in payload["traceEvents"]}
+        assert "campaign.adaptive" in names
+        # metrics: checksummed digest whose counters match the printed table
+        snapshot = read_checked_json(metrics)
+        assert snapshot["counters"]["campaigns"] == 1
+        assert snapshot["counters"]["evaluations"] > 0
+        # progress: machine-tailable JSONL of live mixing diagnostics
+        with open(events, encoding="utf-8") as handle:
+            kinds = [json.loads(line)["kind"] for line in handle]
+        assert "adaptive.progress" in kinds
+
+    def test_sweep_parallel_with_metrics(self, golden_checkpoint, tmp_path, capsys):
+        from repro.utils.persist import read_checked_json
+
+        metrics = str(tmp_path / "metrics.json")
+        code = main(
+            [
+                "sweep", golden_checkpoint, "--workbench", "mlp-moons",
+                "--points", "5", "--samples", "20", "--workers", "2",
+                "--metrics", metrics,
+            ]
+        )
+        assert code == 0
+        snapshot = read_checked_json(metrics)
+        assert snapshot["counters"]["campaigns"] == 5
+        assert snapshot["counters"]["executor.tasks"] == 5
+        assert "executor:" in capsys.readouterr().out
+
+    def test_progress_flag_defaults_to_stderr(self, golden_checkpoint, capsys):
+        code = main(
+            [
+                "campaign", golden_checkpoint, "--workbench", "mlp-moons",
+                "--p", "1e-2", "--samples", "60", "--method", "adaptive",
+                "--progress",
+            ]
+        )
+        assert code == 0
+        assert "[adaptive.progress]" in capsys.readouterr().err

@@ -53,8 +53,12 @@ def strip_durations(record: dict) -> dict:
     """Result record minus wall-clock fields (identical math, different clock)."""
     record = dict(record)
     record.pop("duration_s", None)
+    # the metrics digest carries duration gauges/histograms alongside its
+    # (deterministic) counters; counter parity has its own tests in test_obs
+    record.pop("metrics", None)
     summary = dict(record.get("summary", {}))
     summary.pop("duration_s", None)
+    summary.pop("evals_per_s", None)
     record["summary"] = summary
     return record
 

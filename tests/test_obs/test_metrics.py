@@ -1,0 +1,125 @@
+"""MetricsRegistry primitives: counters, gauges, histograms, snapshot/merge."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("evaluations")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("evaluations").inc(-1)
+
+
+class TestGauge:
+    def test_starts_undefined(self):
+        assert math.isnan(Gauge("accept_rate").value)
+
+    def test_last_write_wins(self):
+        gauge = Gauge("accept_rate")
+        gauge.set(0.1)
+        gauge.set(0.7)
+        assert gauge.value == 0.7
+
+
+class TestHistogram:
+    def test_bounds_must_be_increasing(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram("durations", bounds=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError, match="non-empty"):
+            Histogram("durations", bounds=())
+
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram("durations", bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 100.0):  # one per bucket incl. overflow
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.min == 0.5 and histogram.max == 100.0
+        assert histogram.mean == pytest.approx(105.5 / 3)
+
+    def test_nan_observations_are_skipped(self):
+        histogram = Histogram("durations")
+        histogram.observe(float("nan"))
+        assert histogram.count == 0
+        assert math.isnan(histogram.mean)
+
+
+class TestRegistry:
+    def test_instruments_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.inc("flips.applied", 3)
+        registry.set_gauge("r_hat", 1.01)
+        registry.observe("campaign.duration_s", 0.2)
+        assert registry.counter("flips.applied").value == 3
+        assert len(registry) == 3
+
+    def test_snapshot_is_json_clean_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("b")
+        registry.inc("a", 2)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+
+    def test_merge_adds_counters_and_buckets(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        for registry in (left, right):
+            registry.inc("evaluations", 10)
+            registry.observe("campaign.duration_s", 0.05)
+        left.merge(right.snapshot())
+        assert left.counter("evaluations").value == 20
+        merged = left.histogram("campaign.duration_s")
+        assert merged.count == 2
+        assert merged.sum == pytest.approx(0.1)
+
+    def test_merge_gauges_last_write_wins_skipping_undefined(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.set_gauge("r_hat", 1.2)
+        right.gauge("r_hat")  # stays NaN: must not clobber the defined value
+        left.merge(right.snapshot())
+        assert left.gauge("r_hat").value == 1.2
+        right.set_gauge("r_hat", 1.05)
+        left.merge(right.snapshot())
+        assert left.gauge("r_hat").value == 1.05
+
+    def test_merge_rejects_mismatched_histogram_bounds(self):
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.observe("d", 0.5)  # DEFAULT_BUCKETS
+        right.histogram("d", bounds=(1.0, 2.0)).observe(0.5)
+        with pytest.raises(ValueError, match="bounds"):
+            left.merge(right.snapshot())
+
+    def test_merge_none_is_a_noop(self):
+        registry = MetricsRegistry()
+        registry.merge(None)
+        registry.merge({})
+        assert len(registry) == 0
+
+    def test_merge_roundtrips_through_snapshot(self):
+        source = MetricsRegistry()
+        source.inc("evaluations", 7)
+        source.set_gauge("ess", 120.0)
+        source.observe("campaign.duration_s", 2.0)
+        target = MetricsRegistry()
+        target.merge(source.snapshot())
+        assert target.snapshot() == source.snapshot()
+
+    def test_counters_view_and_clear(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        assert registry.counters() == {"a": 1}
+        registry.clear()
+        assert registry.counters() == {}
+
+    def test_default_buckets_cover_subsecond_to_minutes(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001 and DEFAULT_BUCKETS[-1] >= 300.0

@@ -1,0 +1,103 @@
+"""Tracer: span recording, nesting, Chrome-trace export, worker merge."""
+
+import json
+import os
+import threading
+
+from repro.obs import Tracer
+
+
+class TestRecording:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("campaign.forward", p=1e-3):
+            tracer.instant("checkpoint")
+        assert len(tracer) == 0
+
+    def test_span_records_complete_event(self):
+        tracer = Tracer()
+        with tracer.span("campaign.forward", category="campaign", p=1e-3):
+            pass
+        (event,) = tracer.events
+        assert event["name"] == "campaign.forward"
+        assert event["cat"] == "campaign"
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0.0
+        assert event["pid"] == os.getpid()
+        assert event["tid"] == threading.get_ident()
+        assert event["args"] == {"p": 1e-3}
+
+    def test_span_args_are_json_safe(self):
+        tracer = Tracer()
+        with tracer.span("x", spec=object(), n=3, label=None):
+            pass
+        args = tracer.events[0]["args"]
+        assert isinstance(args["spec"], str)  # repr'd, not a live object
+        assert args["n"] == 3 and args["label"] is None
+
+    def test_spans_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.events  # inner closes (and records) first
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+
+    def test_span_recorded_even_when_body_raises(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(tracer) == 1
+
+    def test_instant_event(self):
+        tracer = Tracer()
+        tracer.instant("journal.hit", key="abc")
+        (event,) = tracer.events
+        assert event["ph"] == "i" and event["s"] == "t"
+
+
+class TestReduction:
+    def test_drain_empties_the_tracer(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        events = tracer.drain()
+        assert len(events) == 1 and len(tracer) == 0
+
+    def test_merge_folds_worker_events_in(self):
+        driver, worker = Tracer(), Tracer()
+        with worker.span("worker.task"):
+            pass
+        driver.merge(worker.drain())
+        driver.merge(None)  # tolerated
+        assert [e["name"] for e in driver.events] == ["worker.task"]
+
+
+class TestExport:
+    def test_export_is_chrome_trace_shaped_and_time_sorted(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        exported = tracer.export()
+        names = [e["name"] for e in exported["traceEvents"]]
+        assert names == ["outer", "inner"]  # sorted by ts, not close order
+        assert exported["displayTimeUnit"] == "ms"
+
+    def test_save_writes_plain_loadable_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("campaign.forward", p=float("nan")):
+            pass
+        path = str(tmp_path / "trace.json")
+        tracer.save(path)
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        # Perfetto compatibility: no checksum wrapper, NaN args sanitised
+        assert "__checksum__" not in payload
+        assert "traceEvents" in payload
+        assert payload["traceEvents"][0]["args"]["p"] is None
