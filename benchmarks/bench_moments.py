@@ -10,14 +10,13 @@ campaign. Two validations:
    Monte Carlo, with the exact severe-flip probability splitting the mass.
 """
 
-import time
-
 import numpy as np
 
 from repro.analysis import format_table
 from repro.core import BayesianFaultInjector
 from repro.faults import BernoulliBitFlipModel, TargetSpec
 from repro.moments import MomentPropagator
+from repro.utils.timing import Timer
 
 BENIGN_LANES = tuple(range(0, 23)) + (31,)
 P_VALUES = (1e-4, 1e-3, 1e-2)
@@ -43,13 +42,13 @@ def test_moment_propagation_vs_monte_carlo(benchmark, golden_mlp_moons, moons_ev
     table = []
     all_bracketed = True
     for p, benign, full in analytic:
-        mc_start = time.perf_counter()
-        mc_benign = injector.forward_campaign(
-            p, samples=MC_SAMPLES, fault_model=BernoulliBitFlipModel(p, bits=BENIGN_LANES),
-            stream=f"benign:{p}",
-        )
-        mc_full = injector.forward_campaign(p, samples=MC_SAMPLES, stream=f"full:{p}")
-        mc_seconds = time.perf_counter() - mc_start
+        with Timer() as mc_timer:
+            mc_benign = injector.forward_campaign(
+                p, samples=MC_SAMPLES, fault_model=BernoulliBitFlipModel(p, bits=BENIGN_LANES),
+                stream=f"benign:{p}",
+            )
+            mc_full = injector.forward_campaign(p, samples=MC_SAMPLES, stream=f"full:{p}")
+        mc_seconds = mc_timer.elapsed
         bracketed = full.brackets(mc_full.mean_error)
         all_bracketed &= bracketed
         table.append(

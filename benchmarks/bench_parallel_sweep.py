@@ -15,7 +15,6 @@ cannot physically beat the sequential path.
 
 import functools
 import os
-import time
 
 import numpy as np
 
@@ -24,6 +23,7 @@ from repro.core import BayesianFaultInjector, ProbabilitySweep
 from repro.exec import InjectorRecipe, ParallelCampaignExecutor
 from repro.faults import TargetSpec
 from repro.nn import paper_mlp
+from repro.utils.timing import Timer
 
 P_VALUES = tuple(np.logspace(-5, -1, 13))
 SAMPLES_PER_POINT = 120
@@ -55,15 +55,15 @@ def test_parallel_sweep_speedup_and_determinism(
 
     def timed_sweep(workers):
         executor = ParallelCampaignExecutor(recipe, workers=workers)
-        started = time.perf_counter()
-        sweep = ProbabilitySweep(
-            make_injector(),
-            p_values=P_VALUES,
-            samples=SAMPLES_PER_POINT,
-            chains=2,
-            executor=executor,
-        ).run()
-        return sweep, time.perf_counter() - started, executor.stats
+        with Timer() as timer:
+            sweep = ProbabilitySweep(
+                make_injector(),
+                p_values=P_VALUES,
+                samples=SAMPLES_PER_POINT,
+                chains=2,
+                executor=executor,
+            ).run()
+        return sweep, timer.elapsed, executor.stats
 
     sequential, sequential_s, _ = timed_sweep(workers=1)
     parallel, parallel_s, stats = benchmark.pedantic(

@@ -1,9 +1,10 @@
 """Golden networks for the benchmark harness.
 
-Training a golden network is step 1 of the BDLFI procedure and a fixed
-cost, so trained weights are cached on disk under ``benchmarks/_artifacts``
-— the first benchmark run trains (≈1 minute for the ResNet), later runs
-load checkpoints. Delete the directory to retrain.
+Thin pytest-fixture layer over :mod:`repro.bench.workloads`, the shared
+seed-pinned workload builders the ``repro bench`` runner uses too — one
+definition of every golden network, one checkpoint cache. Trained weights
+are cached under ``benchmarks/_artifacts`` (the first benchmark run trains,
+later runs load checkpoints; delete the directory to retrain).
 
 Experiment configurations (eval-batch sizes, dataset difficulty) are chosen
 so the full benchmark suite regenerates every paper figure on one CPU in
@@ -15,67 +16,30 @@ from __future__ import annotations
 
 import os
 
-import numpy as np
 import pytest
 
-from repro.data import ArrayDataset, DataLoader, make_synthetic_images, SyntheticImageConfig, two_moons
-from repro.nn import MLP, paper_mlp
-from repro.nn.models import resnet18_cifar_small
-from repro.train import Adam, Trainer, load_checkpoint, save_checkpoint
+from repro.bench import workloads
+from repro.bench.workloads import MLP_IMAGE_CONFIG, RESNET_IMAGE_CONFIG  # noqa: F401 — re-export
+from repro.data import DataLoader, make_synthetic_images
+from repro.train import Adam, Trainer
 
 ARTIFACTS = os.path.join(os.path.dirname(__file__), "_artifacts")
-
-#: MLP image task — low-dimensional (6×6) so the Fig. 2 MLP is small enough
-#: that the flat fault regime is visible inside the swept p range (the knee
-#: sits near 1/#catastrophic-bit-sites; see EXPERIMENTS.md), and easy enough
-#: that the golden error lands in the paper's few-percent regime.
-MLP_IMAGE_CONFIG = SyntheticImageConfig(image_size=6, noise=1.2, seed=11)
-#: ResNet image task — harder distribution so the golden error sits at the
-#: elevated baseline of Fig. 4.
-RESNET_IMAGE_CONFIG = SyntheticImageConfig(image_size=12, noise=4.5, seed=11)
-
-
-def _train_or_load(name: str, build, train_fn) -> tuple:
-    """Train once and cache; returns (model, metadata)."""
-    os.makedirs(ARTIFACTS, exist_ok=True)
-    path = os.path.join(ARTIFACTS, f"{name}.npz")
-    model = build()
-    if os.path.exists(path):
-        try:
-            metadata = load_checkpoint(model, path)
-            return model.eval(), metadata
-        except Exception:
-            # A truncated or otherwise unreadable checkpoint is a cache
-            # miss, not a fatal error — retrain and overwrite it.
-            os.remove(path)
-    accuracy = train_fn(model)
-    save_checkpoint(model, path, accuracy=accuracy)
-    return model.eval(), {"accuracy": accuracy}
 
 
 @pytest.fixture(scope="session")
 def golden_mlp_moons():
     """Paper Fig. 1 MLP (32 hidden units) trained on two-moons."""
-
-    def train(model):
-        x, y = two_moons(800, noise=0.12, rng=0)
-        loader = DataLoader(ArrayDataset(x, y), batch_size=32, shuffle=True, rng=1)
-        result = Trainer(model, Adam(model.parameters(), lr=0.01)).fit(loader, epochs=50)
-        return result.final_train_accuracy
-
-    model, _ = _train_or_load("mlp_moons", lambda: paper_mlp(rng=0), train)
-    return model
+    return workloads.golden_mlp_moons(ARTIFACTS)
 
 
 @pytest.fixture(scope="session")
 def moons_eval_batch():
-    x, y = two_moons(300, noise=0.12, rng=5)
-    return x, y
+    return workloads.moons_eval_batch()
 
 
 @pytest.fixture(scope="session")
 def image_data_mlp():
-    return make_synthetic_images(MLP_IMAGE_CONFIG, 1500, 400)
+    return workloads.mlp_image_data()
 
 
 @pytest.fixture(scope="session")
@@ -86,24 +50,15 @@ def image_data_resnet():
 @pytest.fixture(scope="session")
 def golden_mlp_images(image_data_mlp):
     """MLP classifier on the synthetic CIFAR-10 stand-in (Fig. 2 subject)."""
-    train_set, test_set = image_data_mlp
-    dim = int(np.prod(train_set.features.shape[1:]))
-
-    def train(model):
-        loader = DataLoader(train_set, batch_size=64, shuffle=True, rng=2)
-        val = DataLoader(test_set, batch_size=200)
-        trainer = Trainer(model, Adam(model.parameters(), lr=2e-3))
-        result = trainer.fit(loader, epochs=20, val_loader=val)
-        return result.final_val_accuracy
-
-    model, _ = _train_or_load("mlp_images", lambda: MLP(dim, (8,), 10, rng=0), train)
-    return model
+    return workloads.golden_mlp_images(cache_dir=ARTIFACTS, data=image_data_mlp)
 
 
 @pytest.fixture(scope="session")
 def golden_resnet_images(image_data_resnet):
     """ResNet-18 (reduced width, identical topology) on the synthetic
     CIFAR-10 stand-in (Figs. 3 and 4 subject)."""
+    from repro.nn.models import resnet18_cifar_small
+
     train_set, test_set = image_data_resnet
 
     def train(model):
@@ -113,15 +68,16 @@ def golden_resnet_images(image_data_resnet):
         result = trainer.fit(loader, epochs=8, val_loader=val)
         return result.final_val_accuracy
 
-    model, _ = _train_or_load("resnet_images", lambda: resnet18_cifar_small(rng=0), train)
+    model, _ = workloads.train_or_load(
+        "resnet_images", lambda: resnet18_cifar_small(rng=0), train, ARTIFACTS
+    )
     return model
 
 
 @pytest.fixture(scope="session")
 def mlp_image_eval(image_data_mlp):
     """Evaluation batch for MLP image campaigns."""
-    _, test_set = image_data_mlp
-    return test_set.features[:200], test_set.labels[:200]
+    return workloads.mlp_image_eval(data=image_data_mlp)
 
 
 @pytest.fixture(scope="session")

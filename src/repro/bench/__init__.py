@@ -1,0 +1,54 @@
+"""repro.bench — reproducible benchmark harness with regression gating.
+
+The continuous-benchmarking counterpart to :mod:`repro.obs`: where the
+profiler answers *where time goes inside one run*, this package answers
+*whether runs got slower between commits*. It standardises the measurement
+protocol every benchmark in the repository uses:
+
+* **pinned seeds** — workloads are built from fixed seeds (the same golden
+  networks and eval batches each run), so timing variance comes from the
+  machine, never the workload;
+* **warmup/repeat protocol** — :func:`measure` discards warmup iterations
+  and then times ``repeats`` runs on the canonical clock
+  (:func:`repro.obs.profile.clock_s`);
+* **robust statistics** — the summary statistic is the *median* with the
+  interquartile range as the noise estimate; mean/min/max ride along;
+* **versioned records** — :func:`repro.bench.harness.make_record` freezes a
+  suite run into a ``repro.bench/1`` JSON document
+  (``BENCH_<group>.json``, written at the repo root by convention), and
+  :func:`repro.bench.harness.validate_bench_record` schema-checks one;
+* **regression gate** — :func:`repro.bench.compare.compare_records` ratios
+  current vs baseline medians against a configurable tolerance, failing on
+  regressed *or missing* cases; CI runs the quick tier on every PR.
+
+Run it as ``python -m repro bench --quick`` (see ``--help``), or call
+:func:`repro.bench.runner.run_groups` programmatically.
+"""
+
+from repro.bench.compare import CaseComparison, ComparisonReport, compare_records
+from repro.bench.harness import (
+    BENCH_SCHEMA,
+    CaseStats,
+    make_record,
+    measure,
+    validate_bench_record,
+)
+from repro.bench.runner import bench_path, load_record, run_groups, write_record
+from repro.bench.suites import SUITES, suite_names
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "CaseStats",
+    "measure",
+    "make_record",
+    "validate_bench_record",
+    "CaseComparison",
+    "ComparisonReport",
+    "compare_records",
+    "SUITES",
+    "suite_names",
+    "run_groups",
+    "write_record",
+    "load_record",
+    "bench_path",
+]

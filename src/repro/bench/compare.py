@@ -1,0 +1,120 @@
+"""Regression gate: current bench records vs committed baselines.
+
+The comparison is per-case median ratio against a configurable tolerance.
+Medians below ``noise_floor_s`` on *both* sides are skipped — at tens of
+microseconds the ratio measures scheduler jitter, not the code. A case
+present in the baseline but missing from the current run is itself a
+failure (a silently dropped benchmark would otherwise pass forever).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.harness import validate_bench_record
+
+__all__ = ["CaseComparison", "ComparisonReport", "compare_records"]
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """One case's verdict against its baseline."""
+
+    name: str
+    baseline_s: float | None
+    current_s: float | None
+    ratio: float | None
+    status: str  # "ok" | "regressed" | "improved" | "missing" | "new" | "noise"
+
+    def describe(self) -> str:
+        if self.status == "missing":
+            return f"{self.name}: MISSING (baseline {self.baseline_s:.6f}s, no current run)"
+        if self.status == "new":
+            return f"{self.name}: new case ({self.current_s:.6f}s, no baseline)"
+        if self.status == "noise":
+            return f"{self.name}: below noise floor, skipped"
+        return (
+            f"{self.name}: {self.status} — baseline {self.baseline_s:.6f}s, "
+            f"current {self.current_s:.6f}s ({self.ratio:.2f}x)"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """Gate verdict for one group."""
+
+    group: str
+    tolerance: float
+    comparisons: list[CaseComparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[CaseComparison]:
+        return [c for c in self.comparisons if c.status in ("regressed", "missing")]
+
+    @property
+    def passed(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        lines = [
+            f"bench gate [{self.group}]: "
+            f"{'PASS' if self.passed else 'FAIL'} "
+            f"({len(self.comparisons)} case(s), tolerance {self.tolerance:g}x)"
+        ]
+        for comparison in self.comparisons:
+            marker = "!" if comparison.status in ("regressed", "missing") else " "
+            lines.append(f"  {marker} {comparison.describe()}")
+        return "\n".join(lines)
+
+
+def compare_records(
+    current: dict,
+    baseline: dict,
+    *,
+    tolerance: float = 2.0,
+    noise_floor_s: float = 1e-4,
+) -> ComparisonReport:
+    """Gate ``current`` against ``baseline``; both are validated first.
+
+    ``tolerance`` is the maximum allowed ``current_median / baseline_median``
+    ratio. The default is deliberately loose (2x) because bench hosts vary;
+    CI can pass a tighter or looser value explicitly.
+    """
+    current = validate_bench_record(current)
+    baseline = validate_bench_record(baseline)
+    if current["group"] != baseline["group"]:
+        raise ValueError(
+            f"group mismatch: current {current['group']!r} vs baseline {baseline['group']!r}"
+        )
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    report = ComparisonReport(group=current["group"], tolerance=tolerance)
+    current_cases = current["cases"]
+    for name, base_case in sorted(baseline["cases"].items()):
+        base_median = float(base_case["median_s"])
+        cur_case = current_cases.get(name)
+        if cur_case is None:
+            report.comparisons.append(
+                CaseComparison(name, base_median, None, None, "missing")
+            )
+            continue
+        cur_median = float(cur_case["median_s"])
+        if base_median < noise_floor_s and cur_median < noise_floor_s:
+            report.comparisons.append(
+                CaseComparison(name, base_median, cur_median, None, "noise")
+            )
+            continue
+        ratio = cur_median / base_median if base_median > 0 else float("inf")
+        if ratio > tolerance:
+            status = "regressed"
+        elif ratio < 1.0 / tolerance:
+            status = "improved"
+        else:
+            status = "ok"
+        report.comparisons.append(CaseComparison(name, base_median, cur_median, ratio, status))
+    for name, cur_case in sorted(current_cases.items()):
+        if name not in baseline["cases"]:
+            report.comparisons.append(
+                CaseComparison(name, None, float(cur_case["median_s"]), None, "new")
+            )
+    return report

@@ -1,0 +1,110 @@
+"""Run bench suites, emit ``BENCH_<group>.json``, gate against baselines.
+
+The runner is what ``python -m repro bench`` calls: it instantiates the
+requested suites (training or loading their golden workloads), times each
+case under the harness protocol, writes one atomic record per group, and —
+in ``--check`` mode — compares the fresh records against the committed
+baselines, returning a non-zero verdict on any regression.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+
+from repro.bench.compare import ComparisonReport, compare_records
+from repro.bench.harness import make_record, measure, validate_bench_record
+from repro.bench.suites import DEFAULT_SEED, build_suite, suite_names
+from repro.utils.logging import get_logger
+from repro.utils.persist import atomic_write_json
+
+__all__ = ["bench_path", "write_record", "load_record", "run_groups"]
+
+_LOGGER = get_logger("bench")
+
+
+def bench_path(group: str, directory: str = ".") -> str:
+    """The conventional record path for a group: ``<dir>/BENCH_<group>.json``."""
+    return os.path.join(directory, f"BENCH_{group}.json")
+
+
+def write_record(record: dict, directory: str = ".") -> str:
+    """Atomically write a validated record to its conventional path."""
+    record = validate_bench_record(record)
+    path = bench_path(record["group"], directory)
+    atomic_write_json(path, record)
+    return path
+
+
+def load_record(path: str) -> dict:
+    """Read and schema-check a bench record file."""
+    with open(path, encoding="utf-8") as handle:
+        return validate_bench_record(json.load(handle))
+
+
+def run_groups(
+    groups: list[str] | None = None,
+    *,
+    quick: bool = False,
+    seed: int = DEFAULT_SEED,
+    cache_dir: str | None = None,
+    out_dir: str = ".",
+    case_filter: str | None = None,
+    check: bool = False,
+    baseline_dir: str | None = None,
+    tolerance: float = 2.0,
+    progress=print,
+) -> tuple[dict[str, dict], list[ComparisonReport]]:
+    """Run ``groups`` (default: all) and optionally gate against baselines.
+
+    Returns ``(records_by_group, reports)``; ``reports`` is empty unless
+    ``check`` is set. ``case_filter`` is an fnmatch pattern over case names
+    (filtered records are not written or gated — a partial run must never
+    overwrite a full baseline or trip the missing-case check).
+    """
+    groups = list(groups) if groups else suite_names()
+    baseline_dir = baseline_dir if baseline_dir is not None else out_dir
+    records: dict[str, dict] = {}
+    reports: list[ComparisonReport] = []
+    partial = case_filter is not None
+    for group in groups:
+        progress(f"bench: building workloads for {group} ({'quick' if quick else 'full'} tier)")
+        suite = build_suite(group, quick=quick, seed=seed, cache_dir=cache_dir)
+        if partial:
+            suite = {
+                name: spec
+                for name, spec in suite.items()
+                if fnmatch.fnmatch(name, case_filter)
+            }
+            if not suite:
+                progress(f"bench: {group}: no case matches {case_filter!r}, skipped")
+                continue
+        cases = {}
+        for name, spec in suite.items():
+            stats = measure(spec.fn, warmup=spec.warmup, repeats=spec.repeats)
+            cases[name] = stats
+            progress(
+                f"bench: {group}.{name}: median {stats.median_s:.6f}s "
+                f"(iqr {stats.iqr_s:.6f}s, n={stats.repeats})"
+            )
+        record = make_record(group, cases, quick=quick, seed=seed)
+        records[group] = record
+        if partial:
+            progress(f"bench: {group}: filtered run, record not written")
+            continue
+        path = write_record(record, out_dir)
+        progress(f"bench: wrote {path}")
+        if check:
+            baseline_path = bench_path(group, baseline_dir)
+            if not os.path.exists(baseline_path):
+                raise FileNotFoundError(
+                    f"no committed baseline at {baseline_path}; "
+                    f"run `python -m repro bench{' --quick' if quick else ''}` "
+                    f"and commit the BENCH_*.json files"
+                )
+            baseline = load_record(baseline_path)
+            report = compare_records(record, baseline, tolerance=tolerance)
+            reports.append(report)
+            progress(report.summary())
+    return records, reports

@@ -1,0 +1,207 @@
+"""The standard benchmark groups behind ``repro bench``.
+
+Each suite builder returns ``{case_name: CaseSpec}`` — zero-argument
+callables over seed-pinned workloads (see :mod:`repro.bench.workloads`)
+plus their warmup/repeat protocol. Group names match the historical
+``benchmarks/bench_*.py`` files they mirror, and the emitted baselines are
+``BENCH_<group>.json``:
+
+* ``bench_micro`` — the primitives campaign cost is built from (mask
+  sampling, XOR application, a faulted forward pass, one MCMC stretch,
+  the conv2d kernel);
+* ``bench_parallel_sweep`` — a probability sweep sequentially and fanned
+  over a worker pool;
+* ``bench_fig2_mlp_sweep`` — the paper's Fig. 2 error-vs-p sweep on the
+  image MLP;
+* ``bench_completeness`` — fixed-budget MCMC mixing and adaptive stopping.
+
+Every suite has a *quick* tier (smaller grids/budgets, same case names) so
+CI gates on the same baselines a developer regenerates locally with
+``python -m repro bench --quick``.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.bench import workloads
+
+__all__ = ["CaseSpec", "SUITES", "suite_names", "build_suite"]
+
+#: seed shared by all campaign workloads (the paper's year, as elsewhere)
+DEFAULT_SEED = 2019
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One benchmark case: the callable plus its measurement protocol."""
+
+    fn: Callable[[], object]
+    warmup: int = 1
+    repeats: int = 5
+
+
+def _micro_suite(quick: bool, seed: int, cache_dir: str | None) -> dict[str, CaseSpec]:
+    from repro.bits import apply_bit_mask, sample_bernoulli_mask
+    from repro.core import BayesianFaultInjector
+    from repro.faults import BernoulliBitFlipModel, FaultConfiguration, TargetSpec
+    from repro.mcmc import MetropolisHastingsSampler, PriorTarget, SingleBitToggle
+    from repro.tensor import Tensor, conv2d, no_grad
+
+    repeats = 3 if quick else 7
+    model = workloads.golden_mlp_moons(cache_dir)
+    eval_x, eval_y = workloads.moons_eval_batch()
+    injector = BayesianFaultInjector(
+        model, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=seed
+    )
+    fault_model = BernoulliBitFlipModel(1e-3)
+    statistic = injector.make_statistic(fault_model, np.random.default_rng(3))
+    configuration = FaultConfiguration.sample(
+        injector.parameter_targets, fault_model, np.random.default_rng(4)
+    )
+    values = np.random.default_rng(1).normal(size=1_000_000).astype(np.float32)
+    mask = sample_bernoulli_mask((1_000_000,), 1e-4, np.random.default_rng(2))
+    conv_rng = np.random.default_rng(7)
+    conv_x = Tensor(conv_rng.normal(size=(16, 16, 12, 12)).astype(np.float32))
+    conv_w = Tensor(conv_rng.normal(size=(32, 16, 3, 3)).astype(np.float32))
+
+    def mask_sampling():
+        workloads_rng = np.random.default_rng(0)
+        return sample_bernoulli_mask((1_000_000,), 1e-5, workloads_rng)
+
+    def mcmc_stretch():
+        sampler = MetropolisHastingsSampler(
+            PriorTarget(fault_model),
+            SingleBitToggle(injector.parameter_targets),
+            statistic,
+            initial=lambda r: FaultConfiguration.sample(
+                injector.parameter_targets, fault_model, r
+            ),
+        )
+        return sampler.run_chain(10, np.random.default_rng(6))
+
+    def conv_forward():
+        with no_grad():
+            return conv2d(conv_x, conv_w, stride=1, padding=1)
+
+    return {
+        "mask_sampling_small_p": CaseSpec(mask_sampling, repeats=repeats),
+        "mask_application": CaseSpec(lambda: apply_bit_mask(values, mask), repeats=repeats),
+        "faulted_forward_mlp": CaseSpec(lambda: statistic(configuration), repeats=repeats),
+        "mcmc_10_steps": CaseSpec(mcmc_stretch, repeats=repeats),
+        "conv2d_forward": CaseSpec(conv_forward, repeats=repeats),
+    }
+
+
+def _parallel_sweep_suite(quick: bool, seed: int, cache_dir: str | None) -> dict[str, CaseSpec]:
+    from repro.core import BayesianFaultInjector, ProbabilitySweep
+    from repro.exec import InjectorRecipe, ParallelCampaignExecutor
+    from repro.faults import TargetSpec
+    from repro.nn import paper_mlp
+
+    p_values = tuple(np.logspace(-5, -1, 5 if quick else 13))
+    samples = 30 if quick else 120
+    pool = 2 if quick else 4
+    model = workloads.golden_mlp_moons(cache_dir)
+    eval_x, eval_y = workloads.moons_eval_batch()
+    recipe = InjectorRecipe.from_model(
+        model, eval_x, eval_y,
+        spec=TargetSpec.weights_and_biases(), seed=seed,
+        model_builder=functools.partial(paper_mlp, rng=0),
+    )
+
+    def sweep(workers: int):
+        injector = BayesianFaultInjector(
+            model, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=seed
+        )
+        executor = ParallelCampaignExecutor(recipe, workers=workers)
+        return ProbabilitySweep(
+            injector, p_values=p_values, samples=samples, chains=2, executor=executor
+        ).run()
+
+    repeats = 2 if quick else 3
+    return {
+        "sweep_sequential": CaseSpec(lambda: sweep(1), warmup=1, repeats=repeats),
+        "sweep_parallel": CaseSpec(lambda: sweep(pool), warmup=1, repeats=repeats),
+    }
+
+
+def _fig2_suite(quick: bool, seed: int, cache_dir: str | None) -> dict[str, CaseSpec]:
+    from repro.core import BayesianFaultInjector, ProbabilitySweep
+    from repro.faults import TargetSpec
+
+    p_values = tuple(np.logspace(-5, -1, 5 if quick else 13))
+    samples = 30 if quick else 150
+    data = workloads.mlp_image_data(quick)
+    model = workloads.golden_mlp_images(quick, cache_dir, data=data)
+    eval_x, eval_y = workloads.mlp_image_eval(quick, data=data)
+    injector = BayesianFaultInjector(
+        model, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=seed
+    )
+
+    def sweep():
+        return ProbabilitySweep(
+            injector, p_values=p_values, samples=samples, chains=2
+        ).run()
+
+    return {"fig2_sweep": CaseSpec(sweep, warmup=1, repeats=2 if quick else 3)}
+
+
+def _completeness_suite(quick: bool, seed: int, cache_dir: str | None) -> dict[str, CaseSpec]:
+    from repro.core import BayesianFaultInjector
+    from repro.faults import TargetSpec
+    from repro.mcmc import CompletenessCriterion
+
+    flip_p = 5e-3
+    chains = 2 if quick else 4
+    steps = 60 if quick else 500
+    model = workloads.golden_mlp_moons(cache_dir)
+    eval_x, eval_y = workloads.moons_eval_batch()
+    injector = BayesianFaultInjector(
+        model, eval_x, eval_y, spec=TargetSpec.weights_and_biases(), seed=seed
+    )
+    criterion = CompletenessCriterion(
+        stderr_tolerance=0.02 if quick else 0.01, min_ess=50 if quick else 100
+    )
+
+    def mcmc_fixed():
+        return injector.mcmc_campaign(flip_p, chains=chains, steps=steps)
+
+    def adaptive():
+        return injector.run_until_complete(
+            flip_p,
+            criterion=criterion,
+            chains=chains,
+            batch_steps=25 if quick else 50,
+            max_steps=200 if quick else 1000,
+        )
+
+    repeats = 2 if quick else 3
+    return {
+        "mcmc_fixed_budget": CaseSpec(mcmc_fixed, warmup=0, repeats=repeats),
+        "adaptive_stopping": CaseSpec(adaptive, warmup=0, repeats=repeats),
+    }
+
+
+#: group name → suite builder ``(quick, seed, cache_dir) → {name: CaseSpec}``
+SUITES: dict[str, Callable[[bool, int, str | None], dict[str, CaseSpec]]] = {
+    "bench_micro": _micro_suite,
+    "bench_parallel_sweep": _parallel_sweep_suite,
+    "bench_fig2_mlp_sweep": _fig2_suite,
+    "bench_completeness": _completeness_suite,
+}
+
+
+def suite_names() -> list[str]:
+    return sorted(SUITES)
+
+
+def build_suite(name: str, *, quick: bool, seed: int = DEFAULT_SEED, cache_dir: str | None = None):
+    """Instantiate one suite's cases (trains/loads its workloads)."""
+    if name not in SUITES:
+        raise ValueError(f"unknown bench suite {name!r}; choose from {suite_names()}")
+    return SUITES[name](quick, seed, cache_dir)

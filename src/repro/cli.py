@@ -217,6 +217,11 @@ def _add_observability(parser: argparse.ArgumentParser) -> None:
              "to stderr by default, or as JSONL to PATH",
     )
     group.add_argument(
+        "--profile", nargs="?", const="-", default=None, metavar="PATH",
+        help="profile the run (per-op/per-layer/per-phase); prints the hot-spot table, "
+             "and writes a speedscope-loadable collapsed-stack file to PATH if given",
+    )
+    group.add_argument(
         "-v", "--verbose", action="count", default=0,
         help="raise library log verbosity (-v INFO, -vv DEBUG); propagated to workers",
     )
@@ -234,6 +239,8 @@ def _setup_observability(args) -> None:
     progress = getattr(args, "progress", None)
     if progress is not None:
         obs.configure(progress=obs.StderrSink() if progress == "-" else obs.JsonlSink(progress))
+    if getattr(args, "profile", None) is not None:
+        obs.configure(profiler=True)
 
 
 def _finalize_observability(args) -> None:
@@ -242,8 +249,21 @@ def _finalize_observability(args) -> None:
     if trace_path and obs.tracer().enabled:
         obs.tracer().save(trace_path)
         print(f"trace written to {trace_path} (open in Perfetto)", file=sys.stderr)
-    metrics_path = getattr(args, "metrics", None)
+    profile_arg = getattr(args, "profile", None)
+    profiler = obs.profiler()
     registry = obs.metrics()
+    if profile_arg is not None and profiler is not None:
+        if registry is not None:
+            # project profile totals so --metrics and --profile compose
+            profiler.publish_to(registry)
+        print(profiler.hotspot_table(), file=sys.stderr)
+        if profile_arg != "-":
+            profiler.save_collapsed(profile_arg)
+            print(
+                f"collapsed stacks written to {profile_arg} (open in speedscope)",
+                file=sys.stderr,
+            )
+    metrics_path = getattr(args, "metrics", None)
     if metrics_path and registry is not None:
         atomic_write_json(metrics_path, registry.snapshot())
         print(f"metrics written to {metrics_path}", file=sys.stderr)
@@ -427,6 +447,47 @@ def _cmd_assess(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import run_groups, suite_names
+    from repro.bench.runner import bench_path
+
+    if args.list:
+        for name in suite_names():
+            print(name)
+        return 0
+    if args.group:
+        unknown = sorted(set(args.group) - set(suite_names()))
+        if unknown:
+            raise SystemExit(f"unknown bench group(s) {unknown}; choose from {suite_names()}")
+    if args.check and args.filter:
+        raise SystemExit("--check and --filter are mutually exclusive "
+                         "(a partial run cannot be gated against a full baseline)")
+    try:
+        _, reports = run_groups(
+            args.group or None,
+            quick=args.quick,
+            seed=args.seed,
+            cache_dir=args.artifacts,
+            out_dir=args.out_dir,
+            case_filter=args.filter,
+            check=args.check,
+            baseline_dir=args.baseline_dir,
+            tolerance=args.tolerance,
+        )
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from exc
+    if args.check:
+        failures = [report for report in reports if not report.passed]
+        if failures:
+            names = ", ".join(report.group for report in failures)
+            print(f"bench gate FAILED for: {names}", file=sys.stderr)
+            return 1
+        print("bench gate passed")
+    else:
+        print(f"baselines live at {bench_path('<group>', args.out_dir)}")
+    return 0
+
+
 def _cmd_boundary(args) -> int:
     workbench = _load_workbench(args.workbench)
     if workbench.boundary_window is None:
@@ -514,6 +575,46 @@ def build_parser() -> argparse.ArgumentParser:
     assess.add_argument("--out", default=None, help="also write the markdown report here")
     _add_observability(assess)
     assess.set_defaults(handler=_cmd_assess)
+
+    bench = subparsers.add_parser(
+        "bench", help="run the reproducible benchmark suites (BENCH_*.json baselines)"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="quick tier: smaller grids/budgets, same case names (what CI gates on)",
+    )
+    bench.add_argument(
+        "--group", action="append", default=None, metavar="NAME",
+        help="suite to run (repeatable; default: all; see --list)",
+    )
+    bench.add_argument("--list", action="store_true", help="list available suites and exit")
+    bench.add_argument(
+        "--filter", default=None, metavar="PATTERN",
+        help="fnmatch pattern over case names; filtered runs print timings "
+             "but never write records or gate",
+    )
+    bench.add_argument(
+        "--out-dir", default=".", metavar="DIR",
+        help="directory for BENCH_<group>.json records (default: current directory)",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="after running, gate against committed baselines; non-zero exit on regression",
+    )
+    bench.add_argument(
+        "--baseline-dir", default=None, metavar="DIR",
+        help="where committed baselines live (default: --out-dir)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=2.0,
+        help="max allowed current/baseline median ratio for --check (default: 2.0)",
+    )
+    bench.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="golden-checkpoint cache directory (default: benchmarks/_artifacts)",
+    )
+    bench.add_argument("--seed", type=int, default=2019)
+    bench.set_defaults(handler=_cmd_bench)
 
     boundary = subparsers.add_parser("boundary", help="decision-boundary map (Fig. 1 (3))")
     _add_common(boundary)

@@ -209,8 +209,16 @@ class BayesianFaultInjector:
                 parameter_context = apply_configuration(self.model, configuration)
             else:  # transient-only campaign; the configuration is a placeholder
                 parameter_context = contextlib.nullcontext()
-            with parameter_context, hazard_guard.capture():
-                with self._transient_context(fault_model, rng):
+            # Campaign-phase accounting (obs.phase is a nullcontext when no
+            # profiler is attached): the XOR mask application is billed to
+            # ``flip.apply``, the faulted forward pass to ``forward.eval``.
+            # Both are purely observational — clock reads only.
+            with contextlib.ExitStack() as stack:
+                with obs.phase("flip.apply"):
+                    stack.enter_context(parameter_context)
+                stack.enter_context(hazard_guard.capture())
+                stack.enter_context(self._transient_context(fault_model, rng))
+                with obs.phase("forward.eval"):
                     with no_grad():
                         logits = self.model(self._x)
             return hazard_guard.score(logits, self.labels)
@@ -254,10 +262,21 @@ class BayesianFaultInjector:
         # the authoritative digest below is stamped unconditionally
         if obs.metrics() is not None:
             self._active_metrics = campaign_metrics
+        profiler = obs.profiler()
+        if profiler is not None:
+            # Per-layer attribution + campaign phase grouping. The hooks are
+            # passive (clock reads only) and removed on exit, so results are
+            # bit-identical with or without a profiler attached.
+            layer_context = obs.profile_module(self.model, profiler)
+            phase_context = profiler.phase(f"campaign.{spec.kind}")
+        else:
+            layer_context = contextlib.nullcontext()
+            phase_context = contextlib.nullcontext()
         try:
             with obs.span(f"campaign.{spec.kind}", p=spec.p, stream=getattr(spec, "stream", None)):
-                with Timer() as timer:
-                    outcome = handler(spec)
+                with phase_context, layer_context:
+                    with Timer() as timer:
+                        outcome = handler(spec)
         finally:
             self._active_guard = None
             self._active_metrics = None

@@ -40,6 +40,7 @@ import numpy as np
 
 import repro.obs as obs
 from repro.exec.specs import CampaignSpec
+from repro.obs.profile import clock_s
 from repro.faults.targets import TargetSpec
 from repro.utils.logging import get_logger
 
@@ -291,7 +292,7 @@ class ParallelCampaignExecutor:
             if not isinstance(task.spec, CampaignSpec):
                 raise TypeError(f"task spec must be a CampaignSpec, got {type(task.spec).__name__}")
         self.stats = ExecutionStats(tasks=len(tasks), parallel=self.workers > 1)
-        started = time.perf_counter()
+        started = clock_s()
         try:
             if not tasks:
                 return []
@@ -312,7 +313,7 @@ class ParallelCampaignExecutor:
                 self._execute_sequential(tasks, remaining, results, keys)
             return results
         finally:
-            self.stats.duration_s = time.perf_counter() - started
+            self.stats.duration_s = clock_s() - started
             self._flush_stats()
 
     def _flush_stats(self) -> None:
@@ -371,7 +372,8 @@ class ParallelCampaignExecutor:
     def _record(self, key, outcome) -> None:
         """Durably journal one completed task (driver process, fsync'd)."""
         if self.journal is not None and key is not None:
-            self.journal.record(key, outcome)
+            with obs.phase("journal.fsync"):
+                self.journal.record(key, outcome)
 
     # ------------------------------------------------------------------ #
     # sequential fallback
@@ -420,7 +422,7 @@ class ParallelCampaignExecutor:
             child.close()
             raise _PoolUnavailable(str(exc)) from exc
         child.close()  # the worker holds the write end now
-        now = time.monotonic()
+        now = clock_s()
         deadline = None if self.timeout_s is None else now + self.timeout_s
         return _Running(
             process=process, connection=parent, deadline=deadline, started=now, last_beat=now
@@ -460,7 +462,8 @@ class ParallelCampaignExecutor:
             entry = running[index]
             if entry.connection.poll(0):
                 try:
-                    message = entry.connection.recv()
+                    with obs.phase("ipc.recv"):
+                        message = entry.connection.recv()
                     status, payload = message[0], message[1]
                     report = message[2] if len(message) > 2 else None
                 except EOFError:  # died mid-send
@@ -490,7 +493,7 @@ class ParallelCampaignExecutor:
                 self._retry_or_raise(
                     tasks, attempts, pending, index, f"worker died (exit code {exitcode})"
                 )
-            elif entry.deadline is not None and time.monotonic() > entry.deadline:
+            elif entry.deadline is not None and clock_s() > entry.deadline:
                 entry.process.terminate()
                 self._reap(entry)
                 del running[index]
@@ -514,13 +517,17 @@ class ParallelCampaignExecutor:
         obs.merge_campaign_metrics(payload)
         if report and report.get("trace"):
             obs.tracer().merge(report["trace"])
+        if report and report.get("profile"):
+            driver_profiler = obs.profiler()
+            if driver_profiler is not None:
+                driver_profiler.merge(report["profile"])
         obs.publish("executor.task_done", task=index, campaign=task.spec.kind, p=task.spec.p)
 
     def _maybe_beat(self, index: int, entry: _Running, attempt: int) -> None:
         """Emit a liveness beat for a still-running worker when one is due."""
         if self.heartbeat_s is None:
             return
-        now = time.monotonic()
+        now = clock_s()
         if now - entry.last_beat < self.heartbeat_s:
             return
         entry.last_beat = now

@@ -16,7 +16,10 @@ instrumentation sites consult:
   detailed metrics are off (campaigns still stamp their own per-campaign
   digest either way);
 * :func:`publish` — fire-and-forget progress events, dropped when no
-  sink is configured.
+  sink is configured;
+* :func:`profiler` — the attached :class:`~repro.obs.profile.Profiler`,
+  or ``None`` when profiling is off; :func:`phase` wraps a block in a
+  profiler phase (a no-op context when detached).
 
 Worker processes never share the driver's state: the executor captures a
 picklable :func:`worker_config` (library verbosity + which instruments
@@ -32,10 +35,13 @@ ones.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 from dataclasses import dataclass
 
+from repro.obs import profile as _profile_mod
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import Profiler, profile_module
 from repro.obs.progress import (
     JsonlSink,
     MemorySink,
@@ -52,6 +58,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Profiler",
+    "profile_module",
     "Tracer",
     "ProgressEvent",
     "ProgressSink",
@@ -65,7 +73,9 @@ __all__ = [
     "metrics",
     "tracer",
     "progress",
+    "profiler",
     "span",
+    "phase",
     "publish",
     "merge_metrics",
     "merge_campaign_metrics",
@@ -79,6 +89,7 @@ _UNSET = object()
 _metrics: MetricsRegistry | None = None
 _tracer: Tracer = Tracer(enabled=False)
 _progress: ProgressSink | None = None
+_profiler: Profiler | None = None
 
 
 # ---------------------------------------------------------------------- #
@@ -86,13 +97,15 @@ _progress: ProgressSink | None = None
 # ---------------------------------------------------------------------- #
 
 
-def configure(metrics=_UNSET, tracer=_UNSET, progress=_UNSET) -> None:
+def configure(metrics=_UNSET, tracer=_UNSET, progress=_UNSET, profiler=_UNSET) -> None:
     """Install observability instruments for this process.
 
     Only the arguments you pass change; each accepts ``None`` to detach.
-    ``metrics=True`` / ``tracer=True`` are shorthand for fresh instances.
+    ``metrics=True`` / ``tracer=True`` / ``profiler=True`` are shorthand
+    for fresh instances. The profiler is additionally published to the
+    tensor-engine hot path (:data:`repro.obs.profile.ACTIVE`).
     """
-    global _metrics, _tracer, _progress
+    global _metrics, _tracer, _progress, _profiler
     if metrics is not _UNSET:
         _metrics = MetricsRegistry() if metrics is True else metrics
     if tracer is not _UNSET:
@@ -104,11 +117,14 @@ def configure(metrics=_UNSET, tracer=_UNSET, progress=_UNSET) -> None:
             _tracer = tracer
     if progress is not _UNSET:
         _progress = progress
+    if profiler is not _UNSET:
+        _profiler = Profiler() if profiler is True else profiler
+        _profile_mod._set_active(_profiler)
 
 
 def reset() -> None:
     """Back to the defaults: no metrics, disabled tracer, no progress sink."""
-    configure(metrics=None, tracer=None, progress=None)
+    configure(metrics=None, tracer=None, progress=None, profiler=None)
 
 
 def metrics() -> MetricsRegistry | None:
@@ -126,6 +142,11 @@ def progress() -> ProgressSink | None:
     return _progress
 
 
+def profiler() -> Profiler | None:
+    """The attached profiler, or ``None`` (profiling off)."""
+    return _profiler
+
+
 # ---------------------------------------------------------------------- #
 # instrumentation-site conveniences
 # ---------------------------------------------------------------------- #
@@ -134,6 +155,13 @@ def progress() -> ProgressSink | None:
 def span(name: str, **args):
     """``tracer().span(...)`` shorthand for instrumentation sites."""
     return _tracer.span(name, **args)
+
+
+def phase(name: str):
+    """``profiler().phase(...)`` shorthand; a no-op when profiling is off."""
+    if _profiler is None:
+        return contextlib.nullcontext()
+    return _profiler.phase(name)
 
 
 def publish(kind: str, /, **payload) -> None:
@@ -183,6 +211,7 @@ class WorkerObsConfig:
     verbosity: int = logging.WARNING
     trace: bool = False
     detailed_metrics: bool = False
+    profile: bool = False
 
 
 def worker_config() -> WorkerObsConfig:
@@ -191,6 +220,7 @@ def worker_config() -> WorkerObsConfig:
         verbosity=get_verbosity(),
         trace=_tracer.enabled,
         detailed_metrics=_metrics is not None,
+        profile=_profiler is not None,
     )
 
 
@@ -207,6 +237,7 @@ def apply_worker_config(config: WorkerObsConfig) -> None:
         metrics=MetricsRegistry() if config.detailed_metrics else None,
         tracer=Tracer(enabled=config.trace),
         progress=None,
+        profiler=Profiler() if config.profile else None,
     )
 
 
@@ -217,4 +248,8 @@ def drain_worker_report() -> dict:
         events = _tracer.drain()
         if events:
             report["trace"] = events
+    if _profiler is not None:
+        snapshot = _profiler.snapshot()
+        if any(snapshot.values()):
+            report["profile"] = snapshot
     return report

@@ -29,9 +29,9 @@ from __future__ import annotations
 import json
 import os
 import threading
-import time
 from contextlib import contextmanager
 
+from repro.obs.profile import clock_s
 from repro.utils.persist import atomic_write_bytes, sanitize_nonfinite
 
 __all__ = ["Tracer"]
@@ -40,10 +40,12 @@ __all__ = ["Tracer"]
 def _now_us() -> float:
     """Monotonic timestamp in microseconds (Chrome-trace time unit).
 
-    ``perf_counter`` is CLOCK_MONOTONIC-based on Linux, so timestamps are
-    comparable across fork-started worker processes on the same host.
+    Rides the library's canonical duration clock
+    (:func:`repro.obs.profile.clock_s`, i.e. ``perf_counter``) —
+    CLOCK_MONOTONIC-based on Linux, so timestamps are comparable across
+    fork-started worker processes on the same host.
     """
-    return time.perf_counter() * 1e6
+    return clock_s() * 1e6
 
 
 class Tracer:

@@ -112,7 +112,10 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, stride: int = 
                 gx = gx_padded
             x._accumulate(gx)
 
-    return Tensor._make(out_data, parents, _backward, "conv2d")
+    # Exact multiply-add cost for the profiler: the output shape alone
+    # cannot recover the receptive-field size, so pass it explicitly.
+    conv_flops = 2.0 * out_data.size * (w_in_c * kh * kw)
+    return Tensor._make(out_data, parents, _backward, "conv2d", flops=conv_flops)
 
 
 def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
@@ -136,7 +139,9 @@ def max_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
         np.add.at(gx, (slice(None), k, i, j), gcols)
         x._accumulate(gx.reshape(x.shape))
 
-    return Tensor._make(out_data, (x,), _backward, "max_pool2d")
+    return Tensor._make(
+        out_data, (x,), _backward, "max_pool2d", flops=float(out_data.size) * kernel_size * kernel_size
+    )
 
 
 def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor:
@@ -158,7 +163,9 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
         np.add.at(gx, (slice(None), k, i, j), gcols)
         x._accumulate(gx.reshape(x.shape))
 
-    return Tensor._make(out_data, (x,), _backward, "avg_pool2d")
+    return Tensor._make(
+        out_data, (x,), _backward, "avg_pool2d", flops=float(out_data.size) * kernel_size * kernel_size
+    )
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:

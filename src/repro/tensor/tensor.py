@@ -18,6 +18,8 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.obs import profile as _profile
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 _GRAD_ENABLED = True
@@ -167,11 +169,26 @@ class Tensor:
         parents: tuple["Tensor", ...],
         backward_fn: Callable[[np.ndarray], None],
         op: str,
+        flops: float | None = None,
     ) -> "Tensor":
-        """Create an interior node, honouring the global grad switch."""
+        """Create an interior node, honouring the global grad switch.
+
+        Every tensor op funnels through here, making it the engine's
+        profiling chokepoint: with a profiler attached the op's call
+        count, FLOP estimate (``flops`` overrides the generic estimator
+        for ops like conv2d whose cost the output shape alone cannot
+        determine), and allocated bytes are recorded, and the backward
+        closure is wrapped so tape replay bills per-layer backward time.
+        With no profiler attached this costs one ``is None`` check.
+        """
+        profiler = _profile.ACTIVE
+        if profiler is not None:
+            profiler.record_tensor_op(op, data, parents, flops=flops)
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
+            if profiler is not None:
+                backward_fn = profiler.wrap_backward(op, backward_fn)
             out._parents = parents
             out._backward_fn = backward_fn
             out._op = op

@@ -1,14 +1,22 @@
-"""Lightweight wall-clock timing for campaign bookkeeping."""
+"""Lightweight stopwatch for campaign bookkeeping.
+
+Thin shim over the library's canonical clock source
+(:func:`repro.obs.profile.clock_s`): all durations in repro come from
+``time.perf_counter`` via that single function; wall-clock time is
+reserved for display timestamps (:func:`repro.obs.profile.wall_display`).
+This module keeps the historical ``Timer`` API while guaranteeing every
+measurement uses the same monotonic clock the profiler and tracer use.
+"""
 
 from __future__ import annotations
 
-import time
+from repro.obs.profile import clock_s
 
 __all__ = ["Timer"]
 
 
 class Timer:
-    """Context-manager stopwatch.
+    """Context-manager stopwatch over the canonical monotonic clock.
 
     >>> with Timer() as t:
     ...     _ = sum(range(1000))
@@ -21,15 +29,15 @@ class Timer:
         self.elapsed: float = 0.0
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = clock_s()
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         if self._start is not None:
-            self.elapsed = time.perf_counter() - self._start
+            self.elapsed = clock_s() - self._start
             self._start = None
 
     def restart(self) -> None:
         """Reset the accumulated time and start again."""
         self.elapsed = 0.0
-        self._start = time.perf_counter()
+        self._start = clock_s()

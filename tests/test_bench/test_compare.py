@@ -1,0 +1,77 @@
+"""The regression gate: tolerance ratios, missing cases, noise floor."""
+
+import pytest
+
+from repro.bench import CaseStats, compare_records, make_record
+
+
+def _record(medians: dict[str, float], group: str = "bench_micro") -> dict:
+    cases = {
+        name: CaseStats(
+            median_s=median, iqr_s=0.0, mean_s=median, min_s=median, max_s=median,
+            repeats=3, warmup=1,
+        )
+        for name, median in medians.items()
+    }
+    return make_record(group, cases, quick=True, seed=2019)
+
+
+class TestGate:
+    def test_identical_records_pass(self):
+        baseline = _record({"fast": 0.01, "slow": 1.0})
+        report = compare_records(_record({"fast": 0.01, "slow": 1.0}), baseline)
+        assert report.passed and not report.regressions
+
+    def test_gate_fails_on_injected_slowdown(self):
+        baseline = _record({"fast": 0.01, "slow": 1.0})
+        current = _record({"fast": 0.01, "slow": 2.5})  # 2.5x > 2.0 tolerance
+        report = compare_records(current, baseline, tolerance=2.0)
+        assert not report.passed
+        (regression,) = report.regressions
+        assert regression.name == "slow" and regression.status == "regressed"
+        assert regression.ratio == pytest.approx(2.5)
+        assert "FAIL" in report.summary()
+
+    def test_slowdown_within_tolerance_passes(self):
+        baseline = _record({"case": 1.0})
+        report = compare_records(_record({"case": 1.8}), baseline, tolerance=2.0)
+        assert report.passed
+
+    def test_missing_case_fails(self):
+        baseline = _record({"kept": 0.5, "dropped": 0.5})
+        report = compare_records(_record({"kept": 0.5}), baseline)
+        assert not report.passed
+        assert [r.status for r in report.regressions] == ["missing"]
+
+    def test_new_case_is_reported_but_passes(self):
+        baseline = _record({"old": 0.5})
+        report = compare_records(_record({"old": 0.5, "fresh": 0.1}), baseline)
+        assert report.passed
+        assert any(c.status == "new" and c.name == "fresh" for c in report.comparisons)
+
+    def test_improvement_is_flagged_not_failed(self):
+        baseline = _record({"case": 1.0})
+        report = compare_records(_record({"case": 0.2}), baseline)
+        assert report.passed
+        assert report.comparisons[0].status == "improved"
+
+    def test_noise_floor_skips_micro_timings(self):
+        baseline = _record({"tiny": 2e-6})
+        current = _record({"tiny": 9e-5})  # 45x — but both under the floor
+        report = compare_records(current, baseline, noise_floor_s=1e-4)
+        assert report.passed
+        assert report.comparisons[0].status == "noise"
+
+    def test_group_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="group mismatch"):
+            compare_records(_record({"c": 1.0}, group="a"), _record({"c": 1.0}, group="b"))
+
+    def test_bad_tolerance_rejected(self):
+        baseline = _record({"c": 1.0})
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_records(baseline, baseline, tolerance=0.0)
+
+    def test_records_validated_before_compare(self):
+        baseline = _record({"c": 1.0})
+        with pytest.raises(ValueError):
+            compare_records({"schema": "nope"}, baseline)

@@ -1,0 +1,152 @@
+"""The bench runner and CLI: record emission, gating, committed baselines."""
+
+import json
+import os
+import time
+
+import pytest
+
+import repro.bench.suites as suites
+from repro.bench import load_record, run_groups, suite_names, validate_bench_record
+from repro.bench.runner import bench_path, write_record
+from repro.bench.suites import CaseSpec
+from repro.cli import main
+
+#: the groups the repository commits seed baselines for
+REQUIRED_GROUPS = (
+    "bench_micro",
+    "bench_parallel_sweep",
+    "bench_fig2_mlp_sweep",
+    "bench_completeness",
+)
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+
+@pytest.fixture()
+def tiny_suites(monkeypatch):
+    """Replace the real suites (which train golden networks) with instant ones."""
+
+    def build(quick, seed, cache_dir):
+        # fast_case must clear the gate's 1e-4s noise floor so doctored
+        # baselines register as regressions rather than noise.
+        return {
+            "fast_case": CaseSpec(lambda: time.sleep(5e-4), warmup=1, repeats=3),
+            "other_case": CaseSpec(lambda: sum(range(100)), warmup=0, repeats=2),
+        }
+
+    monkeypatch.setattr(suites, "SUITES", {"bench_micro": build})
+    return build
+
+
+class TestRunner:
+    def test_run_groups_writes_valid_records(self, tiny_suites, tmp_path):
+        records, reports = run_groups(out_dir=str(tmp_path), quick=True, progress=lambda _: None)
+        assert set(records) == {"bench_micro"}
+        assert reports == []
+        path = bench_path("bench_micro", str(tmp_path))
+        record = load_record(path)
+        assert set(record["cases"]) == {"fast_case", "other_case"}
+        assert record["quick"] is True
+        assert record["cases"]["other_case"]["repeats"] == 2
+
+    def test_check_passes_against_own_baseline(self, tiny_suites, tmp_path):
+        run_groups(out_dir=str(tmp_path), quick=True, progress=lambda _: None)
+        _, reports = run_groups(
+            out_dir=str(tmp_path / "fresh"), baseline_dir=str(tmp_path),
+            quick=True, check=True, tolerance=100.0, progress=lambda _: None,
+        )
+        assert len(reports) == 1 and reports[0].passed
+
+    def test_check_fails_on_doctored_baseline(self, tiny_suites, tmp_path):
+        """The gate demonstrably fires: shrink the baseline medians so the
+        real timings look like a massive regression."""
+        records, _ = run_groups(out_dir=str(tmp_path), quick=True, progress=lambda _: None)
+        doctored = json.loads(json.dumps(records["bench_micro"]))
+        for case in doctored["cases"].values():
+            case["median_s"] = case["median_s"] / 1e6  # pretend it used to be 1e6x faster
+        write_record(doctored, str(tmp_path))
+        _, reports = run_groups(
+            out_dir=str(tmp_path / "fresh"), baseline_dir=str(tmp_path),
+            quick=True, check=True, tolerance=2.0, progress=lambda _: None,
+        )
+        assert not reports[0].passed
+        assert all(c.status == "regressed" for c in reports[0].regressions)
+
+    def test_check_missing_baseline_raises(self, tiny_suites, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no committed baseline"):
+            run_groups(
+                out_dir=str(tmp_path), baseline_dir=str(tmp_path / "nowhere"),
+                quick=True, check=True, progress=lambda _: None,
+            )
+
+    def test_filtered_run_never_writes_records(self, tiny_suites, tmp_path):
+        records, _ = run_groups(
+            out_dir=str(tmp_path), quick=True, case_filter="fast_*", progress=lambda _: None,
+        )
+        assert set(records["bench_micro"]["cases"]) == {"fast_case"}
+        assert not os.path.exists(bench_path("bench_micro", str(tmp_path)))
+
+    def test_unknown_group_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            run_groups(["not_a_suite"], progress=lambda _: None)
+
+
+class TestCli:
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(REQUIRED_GROUPS) <= set(out)
+
+    def test_bench_unknown_group_exits(self):
+        with pytest.raises(SystemExit, match="unknown bench group"):
+            main(["bench", "--group", "nope"])
+
+    def test_bench_check_filter_conflict(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["bench", "--check", "--filter", "x*"])
+
+    def test_bench_end_to_end_with_gate(self, tiny_suites, tmp_path, capsys):
+        out_dir = str(tmp_path)
+        assert main(["bench", "--quick", "--out-dir", out_dir]) == 0
+        assert "BENCH_bench_micro.json" in os.listdir(out_dir)
+        # gate against own baseline: passes
+        assert main([
+            "bench", "--quick", "--out-dir", str(tmp_path / "fresh"),
+            "--baseline-dir", out_dir, "--check", "--tolerance", "100.0",
+        ]) == 0
+        assert "bench gate passed" in capsys.readouterr().out
+        # doctor the baseline: fails with exit code 1
+        record = load_record(bench_path("bench_micro", out_dir))
+        for case in record["cases"].values():
+            case["median_s"] /= 1e6
+        write_record(record, out_dir)
+        assert main([
+            "bench", "--quick", "--out-dir", str(tmp_path / "fresh2"),
+            "--baseline-dir", out_dir, "--check", "--tolerance", "2.0",
+        ]) == 1
+
+    def test_bench_check_without_baseline_exits(self, tiny_suites, tmp_path):
+        with pytest.raises(SystemExit, match="no committed baseline"):
+            main(["bench", "--quick", "--out-dir", str(tmp_path),
+                  "--baseline-dir", str(tmp_path / "missing"), "--check"])
+
+
+class TestCommittedBaselines:
+    def test_required_seed_baselines_are_committed_and_valid(self):
+        for group in REQUIRED_GROUPS:
+            path = os.path.join(REPO_ROOT, f"BENCH_{group}.json")
+            assert os.path.exists(path), f"missing committed baseline {path}"
+            record = load_record(path)
+            assert record["group"] == group
+            assert record["quick"] is True  # CI gates on the quick tier
+
+    def test_suite_registry_covers_required_groups(self):
+        assert set(REQUIRED_GROUPS) <= set(suite_names())
+
+    def test_committed_baselines_checksum_intact(self):
+        from repro.utils.persist import read_checked_json
+
+        for group in REQUIRED_GROUPS:
+            payload = read_checked_json(os.path.join(REPO_ROOT, f"BENCH_{group}.json"))
+            validate_bench_record(payload)

@@ -308,3 +308,66 @@ class TestObservabilityFlags:
         )
         assert code == 0
         assert "[adaptive.progress]" in capsys.readouterr().err
+
+
+class TestProfileFlag:
+    """--profile: hot-spot table, collapsed-stack export, composition."""
+
+    def _campaign_argv(self, checkpoint, *extra):
+        return [
+            "campaign", checkpoint, "--workbench", "mlp-moons",
+            "--p", "1e-3", "--samples", "25", *extra,
+        ]
+
+    def test_profile_prints_hotspot_table(self, golden_checkpoint, capsys):
+        assert main(self._campaign_argv(golden_checkpoint, "--profile")) == 0
+        err = capsys.readouterr().err
+        assert "self_s" in err and "cum_s" in err
+        assert "campaign.forward" in err  # phase rows
+        assert "forward.eval" in err
+        assert "matmul" in err  # op rows
+
+    def test_profile_writes_collapsed_stacks(self, golden_checkpoint, tmp_path, capsys):
+        collapsed = str(tmp_path / "profile.collapsed")
+        argv = self._campaign_argv(golden_checkpoint, "--profile", collapsed)
+        assert main(argv) == 0
+        assert "open in speedscope" in capsys.readouterr().err
+        with open(collapsed, encoding="utf-8") as handle:
+            lines = [line.strip() for line in handle if line.strip()]
+        assert lines
+        for line in lines:  # Brendan Gregg collapsed format: frames <micros>
+            frames, micros = line.rsplit(" ", 1)
+            assert frames and micros.isdigit()
+        assert any(line.startswith("campaign.forward") for line in lines)
+
+    def test_profile_output_identical_to_bare_run(self, golden_checkpoint, capsys):
+        argv = self._campaign_argv(golden_checkpoint)
+        assert main(argv) == 0
+        bare = capsys.readouterr().out
+        assert main(argv + ["--profile"]) == 0
+        profiled = capsys.readouterr().out
+
+        def result_rows(text):
+            # statistical columns only — duration/throughput vary run to run
+            rows = [line.split()[:6] for line in text.splitlines()
+                    if line.strip() and line.split()[0] == "0.001"]
+            golden = [line for line in text.splitlines() if line.startswith("golden error:")]
+            return rows + [golden]
+
+        assert result_rows(profiled) == result_rows(bare)
+
+    def test_profile_composes_with_metrics(self, golden_checkpoint, tmp_path, capsys):
+        from repro.utils.persist import read_checked_json
+
+        metrics = str(tmp_path / "metrics.json")
+        argv = self._campaign_argv(
+            golden_checkpoint, "--profile", "--metrics", metrics, "--workers", "2"
+        )
+        assert main(argv) == 0
+        capsys.readouterr()
+        digest = read_checked_json(metrics)
+        counters = digest["counters"]
+        op_counters = {name for name in counters if name.startswith("profile.op.")}
+        assert any(name.endswith(".calls") for name in op_counters)
+        assert any(name.endswith(".flops") for name in op_counters)
+        assert "profile.layer.forward_s" in digest["histograms"]

@@ -5,6 +5,12 @@ import pytest
 
 from repro.core import trace_fault_propagation
 from repro.faults import BernoulliBitFlipModel, FaultConfiguration, TargetSpec, resolve_parameter_targets
+from repro.nn import Conv2d, Dense, GlobalAvgPool2d, Sequential
+from repro.nn.models.resnet import BasicBlock
+
+
+def _zero_masks(targets):
+    return {name: np.zeros(param.shape, dtype=np.uint32) for name, param in targets}
 
 
 @pytest.fixture()
@@ -87,3 +93,68 @@ class TestTrace:
         )
         trace = trace_fault_propagation(tiny_resnet, x[:2], configuration)
         assert len(trace.layers) == 41  # every parameterised ResNet-18 layer
+
+
+class TestPropagationMechanisms:
+    """The physics behind Fig. 3's flat depth profile: ReLU and batch-norm
+    occasionally quench corruption while residual shortcuts carry it forward."""
+
+    def test_relu_quenches_non_finite_corruption(self, trained_mlp, moons_eval, targets):
+        # Force one first-layer weight to exactly -inf. With strictly
+        # positive inputs the neuron's pre-activation is -inf, which the
+        # ReLU between layers.0 and layers.2 maps back to 0 — so the
+        # corruption is non-finite at depth 0 but finite again at depth 1.
+        eval_x, _ = moons_eval
+        x = np.abs(eval_x).astype(np.float32) + 0.5
+        weight = trained_mlp.get_submodule("layers.0").weight
+        current_bits = weight.data[0, 0].view(np.uint32)
+        masks = _zero_masks(targets)
+        masks["layers.0.weight"][0, 0] = current_bits ^ np.uint32(0xFF800000)  # -> -inf
+
+        trace = trace_fault_propagation(trained_mlp, x, FaultConfiguration(masks))
+
+        assert trace.layers[0].non_finite
+        assert trace.layers[0].relative_l2 == float("inf")
+        assert not trace.layers[1].non_finite  # quenched by the ReLU
+        assert np.isfinite(trace.layers[1].relative_l2)
+        assert trace.layers[1].relative_l2 > 0  # the quenched-to-0 neuron still diverges
+
+    def test_batch_norm_quench_and_residual_pass_through(self):
+        # A BasicBlock whose bn1 gamma is zero: the main path's output is a
+        # constant (beta), so corruption entering the block dies inside the
+        # main path — yet the identity shortcut carries it straight past, and
+        # the classifier after the block still diverges.
+        rng = np.random.default_rng(3)
+        model = Sequential(
+            Conv2d(1, 4, 3, padding=1, rng=rng),
+            BasicBlock(4, 4, rng=rng),
+            GlobalAvgPool2d(),
+            Dense(4, 2, rng=rng),
+        )
+        model.eval()
+        model.get_submodule("1.bn1").weight.data[:] = 0.0  # golden state: dead main path
+        targets = resolve_parameter_targets(model, TargetSpec.weights_and_biases())
+        masks = _zero_masks(targets)
+        masks["0.weight"][0, 0, 0, 0] = np.uint32(1) << np.uint32(23)  # corrupt the stem
+
+        x = np.random.default_rng(0).random((4, 1, 8, 8), dtype=np.float32)
+        trace = trace_fault_propagation(model, x, FaultConfiguration(masks))
+        by_name = {layer.layer: layer for layer in trace.layers}
+
+        assert trace.first_corrupted_layer() == "0"
+        assert by_name["1.conv1"].relative_l2 > 0  # corruption enters the block
+        assert by_name["1.bn1"].relative_l2 == 0.0  # batch norm quenches it...
+        assert by_name["1.conv2"].relative_l2 == 0.0  # ...so the main path is clean
+        assert by_name["1.bn2"].relative_l2 == 0.0
+        assert by_name["3"].relative_l2 > 0  # the shortcut carried it anyway
+
+    def test_hooks_removed_when_forward_raises(self, trained_mlp, targets):
+        # A bad input shape makes the traced forward pass raise mid-capture;
+        # the hooks must not leak onto the model.
+        with pytest.raises(Exception):
+            trace_fault_propagation(
+                trained_mlp, np.ones((2, 5), dtype=np.float32),
+                FaultConfiguration.empty(targets),
+            )
+        for name in ("layers.0", "layers.2"):
+            assert not trained_mlp.get_submodule(name)._forward_hooks
