@@ -20,8 +20,6 @@ import pytest
 
 from repro.bench import workloads
 from repro.bench.workloads import MLP_IMAGE_CONFIG, RESNET_IMAGE_CONFIG  # noqa: F401 — re-export
-from repro.data import DataLoader, make_synthetic_images
-from repro.train import Adam, Trainer
 
 ARTIFACTS = os.path.join(os.path.dirname(__file__), "_artifacts")
 
@@ -44,7 +42,7 @@ def image_data_mlp():
 
 @pytest.fixture(scope="session")
 def image_data_resnet():
-    return make_synthetic_images(RESNET_IMAGE_CONFIG, 2000, 400)
+    return workloads.resnet_image_data()
 
 
 @pytest.fixture(scope="session")
@@ -57,21 +55,7 @@ def golden_mlp_images(image_data_mlp):
 def golden_resnet_images(image_data_resnet):
     """ResNet-18 (reduced width, identical topology) on the synthetic
     CIFAR-10 stand-in (Figs. 3 and 4 subject)."""
-    from repro.nn.models import resnet18_cifar_small
-
-    train_set, test_set = image_data_resnet
-
-    def train(model):
-        loader = DataLoader(train_set, batch_size=64, shuffle=True, rng=3)
-        val = DataLoader(test_set, batch_size=200)
-        trainer = Trainer(model, Adam(model.parameters(), lr=2e-3))
-        result = trainer.fit(loader, epochs=8, val_loader=val)
-        return result.final_val_accuracy
-
-    model, _ = workloads.train_or_load(
-        "resnet_images", lambda: resnet18_cifar_small(rng=0), train, ARTIFACTS
-    )
-    return model
+    return workloads.golden_resnet_images(cache_dir=ARTIFACTS, data=image_data_resnet)
 
 
 @pytest.fixture(scope="session")
@@ -84,8 +68,7 @@ def mlp_image_eval(image_data_mlp):
 def resnet_image_eval(image_data_resnet):
     """Evaluation batch for ResNet campaigns (small: each campaign runs
     hundreds of forward passes)."""
-    _, test_set = image_data_resnet
-    return test_set.features[:64], test_set.labels[:64]
+    return workloads.resnet_image_eval(data=image_data_resnet)
 
 
 @pytest.fixture(scope="session")

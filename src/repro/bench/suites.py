@@ -13,7 +13,10 @@ plus their warmup/repeat protocol. Group names match the historical
   over a worker pool;
 * ``bench_fig2_mlp_sweep`` — the paper's Fig. 2 error-vs-p sweep on the
   image MLP;
-* ``bench_completeness`` — fixed-budget MCMC mixing and adaptive stopping.
+* ``bench_completeness`` — fixed-budget MCMC mixing and adaptive stopping;
+* ``bench_fastpath`` — the faulted-forward fast path (prefix caching +
+  batched evaluation + sparse apply) against the standard path on a
+  ResNet-18 layerwise campaign.
 
 Every suite has a *quick* tier (smaller grids/budgets, same case names) so
 CI gates on the same baselines a developer regenerates locally with
@@ -53,6 +56,10 @@ def _micro_suite(quick: bool, seed: int, cache_dir: str | None) -> dict[str, Cas
     from repro.tensor import Tensor, conv2d, no_grad
 
     repeats = 3 if quick else 7
+    # Sub-millisecond cases are dominated by scheduler jitter at 3 repeats,
+    # which made the CI gate flaky; their per-repeat cost is trivial, so
+    # take enough samples for a stable median in both tiers.
+    light_repeats = 15
     model = workloads.golden_mlp_moons(cache_dir)
     eval_x, eval_y = workloads.moons_eval_batch()
     injector = BayesianFaultInjector(
@@ -89,9 +96,13 @@ def _micro_suite(quick: bool, seed: int, cache_dir: str | None) -> dict[str, Cas
             return conv2d(conv_x, conv_w, stride=1, padding=1)
 
     return {
-        "mask_sampling_small_p": CaseSpec(mask_sampling, repeats=repeats),
-        "mask_application": CaseSpec(lambda: apply_bit_mask(values, mask), repeats=repeats),
-        "faulted_forward_mlp": CaseSpec(lambda: statistic(configuration), repeats=repeats),
+        "mask_sampling_small_p": CaseSpec(mask_sampling, repeats=light_repeats),
+        "mask_application": CaseSpec(
+            lambda: apply_bit_mask(values, mask), repeats=light_repeats
+        ),
+        "faulted_forward_mlp": CaseSpec(
+            lambda: statistic(configuration), repeats=light_repeats
+        ),
         "mcmc_10_steps": CaseSpec(mcmc_stretch, repeats=repeats),
         "conv2d_forward": CaseSpec(conv_forward, repeats=repeats),
     }
@@ -187,12 +198,81 @@ def _completeness_suite(quick: bool, seed: int, cache_dir: str | None) -> dict[s
     }
 
 
+def _fastpath_suite(quick: bool, seed: int, cache_dir: str | None) -> dict[str, CaseSpec]:
+    """The faulted-forward fast path against the standard path it replaces.
+
+    The campaign pair is the paper's Fig. 3 regime — a layerwise campaign
+    on a deep ResNet-18 layer, where the clean prefix dominates each
+    forward — run with ``fast=True`` (prefix caching + batched evaluation)
+    and ``fast=False`` (full forward per configuration). Both compute
+    bit-identical results; the ratio of their medians is the speedup the
+    fast path buys. The apply pair isolates the injection primitive:
+    sparse copy-on-write at campaign-realistic flip density versus the
+    dense full-array XOR it replaced.
+    """
+    from repro.bits import apply_bit_mask
+    from repro.core import BayesianFaultInjector
+    from repro.faults import (
+        BernoulliBitFlipModel,
+        FaultConfiguration,
+        TargetSpec,
+        apply_configuration,
+    )
+    from repro.faults.targets import resolve_parameter_targets
+
+    data = workloads.resnet_image_data(quick)
+    model = workloads.golden_resnet_images(quick, cache_dir, data=data)
+    eval_x, eval_y = workloads.resnet_image_eval(quick, data=data)
+    layer = "stages.3.1.conv2"
+    samples = 8 if quick else 32
+    flip_p = 1e-4
+
+    fast_injector = BayesianFaultInjector(
+        model, eval_x, eval_y, spec=TargetSpec.single_layer(layer), seed=seed, fast=True
+    )
+    standard_injector = BayesianFaultInjector(
+        model, eval_x, eval_y, spec=TargetSpec.single_layer(layer), seed=seed, fast=False
+    )
+
+    def campaign(injector):
+        return injector.forward_campaign(flip_p, samples=samples, chains=1)
+
+    # The apply pair shares one sampled configuration over the full
+    # parameter surface; the dense reference densifies outside the timed
+    # region (``sparse()`` keeps the configuration's storage sparse).
+    targets = resolve_parameter_targets(model, TargetSpec.weights_and_biases())
+    configuration = FaultConfiguration.sample(
+        targets, BernoulliBitFlipModel(1e-5), np.random.default_rng(seed)
+    )
+    dense_masks = {name: configuration.sparse(name).to_dense() for name, _ in targets}
+
+    def apply_sparse():
+        with apply_configuration(model, configuration):
+            pass
+
+    def apply_dense():
+        return [apply_bit_mask(param.data, dense_masks[name]) for name, param in targets]
+
+    repeats = 3 if quick else 5
+    return {
+        "resnet_layerwise_fast": CaseSpec(
+            functools.partial(campaign, fast_injector), repeats=repeats
+        ),
+        "resnet_layerwise_standard": CaseSpec(
+            functools.partial(campaign, standard_injector), repeats=repeats
+        ),
+        "apply_sparse_cow": CaseSpec(apply_sparse, repeats=15),
+        "apply_dense_xor": CaseSpec(apply_dense, repeats=15),
+    }
+
+
 #: group name → suite builder ``(quick, seed, cache_dir) → {name: CaseSpec}``
 SUITES: dict[str, Callable[[bool, int, str | None], dict[str, CaseSpec]]] = {
     "bench_micro": _micro_suite,
     "bench_parallel_sweep": _parallel_sweep_suite,
     "bench_fig2_mlp_sweep": _fig2_suite,
     "bench_completeness": _completeness_suite,
+    "bench_fastpath": _fastpath_suite,
 }
 
 

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.data import ArrayDataset, DataLoader, SyntheticImageConfig, make_synthetic_images, two_moons
 from repro.nn import MLP, paper_mlp
+from repro.nn.models import resnet18_cifar_small
 from repro.train import Adam, Trainer, load_checkpoint, save_checkpoint
 
 __all__ = [
@@ -33,6 +34,9 @@ __all__ = [
     "mlp_image_data",
     "golden_mlp_images",
     "mlp_image_eval",
+    "resnet_image_data",
+    "golden_resnet_images",
+    "resnet_image_eval",
 ]
 
 #: MLP image task — low-dimensional (6×6) so the Fig. 2 MLP is small enough
@@ -129,4 +133,43 @@ def mlp_image_eval(quick: bool = False, data=None) -> tuple[np.ndarray, np.ndarr
     """Evaluation batch for MLP image campaigns."""
     _, test_set = data if data is not None else mlp_image_data(quick)
     size = 100 if quick else 200
+    return test_set.features[:size], test_set.labels[:size]
+
+
+def resnet_image_data(quick: bool = False):
+    """(train_set, test_set) for the Figs. 3/4 ResNet image task."""
+    if quick:
+        return make_synthetic_images(RESNET_IMAGE_CONFIG, 600, 200)
+    return make_synthetic_images(RESNET_IMAGE_CONFIG, 2000, 400)
+
+
+def golden_resnet_images(quick: bool = False, cache_dir: str | None = None, data=None):
+    """ResNet-18 (reduced width, identical topology) on the synthetic
+    CIFAR-10 stand-in (Figs. 3 and 4 subject).
+
+    The full variant shares its cache key (and training recipe) with the
+    ``benchmarks/conftest.py`` fixture, so the pytest harness and the
+    ``repro bench`` runner load the same checkpoint. The quick variant
+    trains a short schedule under its own key.
+    """
+    train_set, test_set = data if data is not None else resnet_image_data(quick)
+    epochs = 2 if quick else 8
+
+    def train(model):
+        loader = DataLoader(train_set, batch_size=64, shuffle=True, rng=3)
+        val = DataLoader(test_set, batch_size=200)
+        trainer = Trainer(model, Adam(model.parameters(), lr=2e-3))
+        result = trainer.fit(loader, epochs=epochs, val_loader=val)
+        return result.final_val_accuracy
+
+    name = "resnet_images_quick" if quick else "resnet_images"
+    model, _ = train_or_load(name, lambda: resnet18_cifar_small(rng=0), train, cache_dir)
+    return model
+
+
+def resnet_image_eval(quick: bool = False, data=None) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluation batch for ResNet campaigns (small: each campaign runs
+    hundreds of forward passes)."""
+    _, test_set = data if data is not None else resnet_image_data(quick)
+    size = 32 if quick else 64
     return test_set.features[:size], test_set.labels[:size]

@@ -30,6 +30,9 @@ __all__ = [
     "sample_flip_positions",
     "positions_to_mask",
     "mask_to_positions",
+    "mask_to_sparse",
+    "sparse_to_mask",
+    "positions_to_sparse",
     "sample_bernoulli_mask",
     "count_set_bits",
 ]
@@ -130,15 +133,60 @@ def positions_to_mask(positions: np.ndarray, shape: tuple[int, ...]) -> np.ndarr
 
 def mask_to_positions(mask: np.ndarray) -> np.ndarray:
     """Inverse of :func:`positions_to_mask`: sorted flat bit positions set in ``mask``."""
+    elements, lane_masks = mask_to_sparse(mask)
+    if elements.size == 0:
+        return np.empty(0, dtype=np.int64)
+    # Expand each touched element's lane mask into its set lanes, vectorised:
+    # the (n_touched, 32) bit table costs O(32 K), not O(32 N).
+    lanes = np.arange(BITS_PER_FLOAT, dtype=np.uint32)
+    set_bits = (lane_masks[:, None] >> lanes[None, :]) & np.uint32(1)
+    element_idx, lane_idx = np.nonzero(set_bits)  # row-major → sorted positions
+    return elements[element_idx] * BITS_PER_FLOAT + lane_idx.astype(np.int64)
+
+
+def mask_to_sparse(mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sparse form of a uint32 mask: (flat element indices, their lane masks).
+
+    The inverse of :func:`sparse_to_mask`. Only elements with at least one
+    set bit appear; indices are sorted ascending.
+    """
     flat = np.asarray(mask, dtype=np.uint32).reshape(-1)
-    nonzero = np.nonzero(flat)[0]
-    positions = []
-    for element in nonzero:
-        bits_set = flat[element]
-        for lane in range(BITS_PER_FLOAT):
-            if bits_set >> np.uint32(lane) & np.uint32(1):
-                positions.append(element * BITS_PER_FLOAT + lane)
-    return np.asarray(positions, dtype=np.int64)
+    elements = np.flatnonzero(flat).astype(np.int64)
+    return elements, flat[elements]
+
+
+def sparse_to_mask(
+    elements: np.ndarray, lane_masks: np.ndarray, shape: tuple[int, ...]
+) -> np.ndarray:
+    """Densify a sparse (elements, lane masks) pair into a mask of ``shape``."""
+    n = int(np.prod(shape)) if shape else 1
+    elements = np.asarray(elements, dtype=np.int64)
+    lane_masks = np.asarray(lane_masks, dtype=np.uint32)
+    if elements.shape != lane_masks.shape:
+        raise ValueError("elements and lane_masks must align")
+    if elements.size and (elements.min() < 0 or elements.max() >= n):
+        raise ValueError("element index out of range for shape")
+    mask = np.zeros(n, dtype=np.uint32)
+    if elements.size:
+        np.bitwise_or.at(mask, elements, lane_masks)
+    return mask.reshape(shape)
+
+
+def positions_to_sparse(positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Fold flat bit positions into sparse (elements, lane masks) form.
+
+    O(K log K) in the number of flipped bits — never touches the dense
+    element space, which is what makes small-p sampling cheap end to end.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    if positions.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.uint32)
+    element_of = positions // BITS_PER_FLOAT
+    lane_bit = np.uint32(1) << (positions % BITS_PER_FLOAT).astype(np.uint32)
+    elements, inverse = np.unique(element_of, return_inverse=True)
+    lane_masks = np.zeros(elements.size, dtype=np.uint32)
+    np.bitwise_or.at(lane_masks, inverse, lane_bit)
+    return elements, lane_masks
 
 
 def sample_bernoulli_mask(
@@ -160,9 +208,9 @@ def sample_bernoulli_mask(
 def count_set_bits(mask: np.ndarray) -> int:
     """Total number of set bits (Hamming weight) across a uint32 mask array."""
     flat = np.asarray(mask, dtype=np.uint32).reshape(-1)
-    # Classic SWAR popcount, vectorised.
-    v = flat.copy()
-    v = v - ((v >> np.uint32(1)) & np.uint32(0x55555555))
+    # Classic SWAR popcount, vectorised. The first subtraction already
+    # allocates a fresh array, so the input is never modified in place.
+    v = flat - ((flat >> np.uint32(1)) & np.uint32(0x55555555))
     v = (v & np.uint32(0x33333333)) + ((v >> np.uint32(2)) & np.uint32(0x33333333))
     v = (v + (v >> np.uint32(4))) & np.uint32(0x0F0F0F0F)
     return int((v * np.uint32(0x01010101) >> np.uint32(24)).sum())

@@ -162,10 +162,12 @@ def _campaign_setup(args) -> tuple[BayesianFaultInjector, InjectorRecipe]:
     features, labels = evaluation.arrays()
     features, labels = features[: args.eval_size], labels[: args.eval_size]
     spec = TargetSpec.weights_and_biases() if args.include_biases else TargetSpec()
-    injector = BayesianFaultInjector(model, features, labels, spec=spec, seed=args.seed)
+    fast = getattr(args, "fast", None)
+    injector = BayesianFaultInjector(model, features, labels, spec=spec, seed=args.seed, fast=fast)
     recipe = InjectorRecipe.from_model(
         model, features, labels, spec=spec, seed=args.seed,
         model_builder=functools.partial(build_workbench_model, args.workbench),
+        fast=fast,
     )
     return injector, recipe
 
@@ -193,6 +195,16 @@ def _add_durability(parser: argparse.ArgumentParser) -> None:
         "--resume", action="store_true",
         help="resume from an existing --journal, skipping completed campaigns "
              "(bit-identical to an uninterrupted run)",
+    )
+
+
+def _add_fast(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fast", action=argparse.BooleanOptionalAction, default=None,
+        help="fast faulted-forward path (prefix caching + batched evaluation); "
+             "bit-identical to the standard path. Default: auto-enable when "
+             "supported; --fast requires it (error if unavailable), --no-fast "
+             "forces the standard path",
     )
 
 
@@ -414,6 +426,7 @@ def _cmd_layerwise(args) -> int:
         p=args.p, samples=args.samples, chains=1, seed=args.seed,
         executor=executor, journal=journal,
         model_builder=functools.partial(build_workbench_model, args.workbench),
+        fast=getattr(args, "fast", None),
     ).run()
     _print_journal_status(journal, executor)
     _print_executor_summary(executor)
@@ -538,6 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--workers", type=int, default=1, help="worker processes for campaign execution"
     )
+    _add_fast(campaign)
     _add_durability(campaign)
     _add_observability(campaign)
     campaign.set_defaults(handler=_cmd_campaign)
@@ -553,6 +567,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes; one campaign per sweep point fans out over the pool",
     )
+    _add_fast(sweep)
     _add_durability(sweep)
     _add_observability(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
@@ -565,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes; one campaign per layer fans out over the pool",
     )
+    _add_fast(layerwise)
     _add_durability(layerwise)
     _add_observability(layerwise)
     layerwise.set_defaults(handler=_cmd_layerwise)

@@ -30,7 +30,8 @@ from repro.core.stratified import StratifiedErrorEstimator, StratifiedEstimate
 from repro.core.outcomes import OutcomeCampaign, ConfigurationOutcome
 from repro.core.assessment import ResilienceAssessment, assess_model
 from repro.core.tracing import PropagationTrace, LayerDivergence, trace_fault_propagation
-from repro.core.batched import BatchedMLPEvaluator
+from repro.core.batched import BatchedMLPEvaluator, BatchedNetworkEvaluator
+from repro.core.prefix import ChainStep, PrefixCachedForward, forward_chain, run_chain
 from repro.core.hazard import HazardReport, NumericalHazardGuard, hazard_aware_error
 
 __all__ = [
@@ -57,6 +58,11 @@ __all__ = [
     "LayerDivergence",
     "trace_fault_propagation",
     "BatchedMLPEvaluator",
+    "BatchedNetworkEvaluator",
+    "ChainStep",
+    "PrefixCachedForward",
+    "forward_chain",
+    "run_chain",
     "HazardReport",
     "NumericalHazardGuard",
     "hazard_aware_error",

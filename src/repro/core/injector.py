@@ -36,8 +36,10 @@ import numpy as np
 import repro.obs as obs
 from repro.bits.fields import field_mask
 from repro.bits.float32 import count_set_bits
+from repro.core.batched import BatchedNetworkEvaluator
 from repro.core.campaign import CampaignResult
 from repro.core.hazard import NumericalHazardGuard
+from repro.core.prefix import PrefixCachedForward
 from repro.exec.specs import (
     AdaptiveSpec,
     CampaignSpec,
@@ -58,8 +60,8 @@ from repro.faults.targets import (
     resolve_activation_modules,
     resolve_parameter_targets,
 )
-from repro.mcmc.chain import ChainSet
-from repro.mcmc.forward import ForwardSampler
+from repro.mcmc.chain import Chain, ChainSet
+from repro.mcmc.forward import PROGRESS_EVERY, ForwardSampler
 from repro.mcmc.metropolis import MetropolisHastingsSampler
 from repro.mcmc.mixing import CompletenessCriterion
 from repro.mcmc.proposals import BlockResample, MixtureProposal, SingleBitToggle
@@ -69,7 +71,7 @@ from repro.nn.module import Module
 from repro.tensor.tensor import Tensor, no_grad
 from repro.train.metrics import classification_error
 from repro.utils.logging import get_logger
-from repro.utils.rng import RngFactory
+from repro.utils.rng import RngFactory, spawn_generators
 from repro.utils.timing import Timer
 
 __all__ = ["BayesianFaultInjector"]
@@ -78,6 +80,13 @@ _LOGGER = get_logger("core")
 
 #: sign/exponent/mantissa masks, precomputed for the per-flip field taxonomy
 _FIELD_MASKS = tuple((field, field_mask(field)) for field in ("sign", "exponent", "mantissa"))
+
+#: configurations evaluated per batched sweep on the fast forward path —
+#: bounds the (chunk, batch, channels, H, W) float64 intermediates
+_FAST_CHUNK = 8
+
+#: sentinel for lazily constructed fast-path machinery
+_UNSET = object()
 
 
 def _record_configuration(metrics, configuration: FaultConfiguration) -> None:
@@ -89,13 +98,15 @@ def _record_configuration(metrics, configuration: FaultConfiguration) -> None:
     reduce to identical totals.
     """
     metrics.inc("forward_passes")
-    for name, mask in configuration.items():
-        flips = count_set_bits(mask)
+    for name, sparse in configuration.sparse_items():
+        flips = sparse.count_set_bits()
         if not flips:
             continue
         metrics.inc(f"flips.layer.{name}", flips)
         for field, bits in _FIELD_MASKS:
-            in_field = count_set_bits(mask & bits)
+            # Field masks are per-lane constants, so counting over the
+            # touched elements' lane masks equals counting over the dense mask.
+            in_field = count_set_bits(sparse.lane_masks & bits)
             if in_field:
                 metrics.inc(f"flips.field.{field}", in_field)
 
@@ -114,6 +125,13 @@ class BayesianFaultInjector:
     seed:
         Root seed; every campaign derives named substreams, so results are
         exactly reproducible and independent across campaigns.
+    fast:
+        Fast-path selection for parameter-surface campaigns. ``None``
+        (default) auto-enables clean-prefix activation caching and batched
+        forward evaluation whenever the model supports them — both are
+        bit-identical to the standard path, so results never change.
+        ``False`` forces the standard path (a debugging escape hatch);
+        ``True`` demands the fast path and raises if it is unavailable.
     """
 
     def __init__(
@@ -123,6 +141,7 @@ class BayesianFaultInjector:
         labels: np.ndarray,
         spec: TargetSpec | None = None,
         seed: int = 0,
+        fast: bool | None = None,
     ) -> None:
         inputs = np.asarray(inputs, dtype=np.float32)
         labels = np.asarray(labels, dtype=np.int64)
@@ -149,6 +168,16 @@ class BayesianFaultInjector:
         self._wants_inputs = FaultSurface.INPUTS in self.spec.surfaces
         if not (self._wants_parameters or self.activation_modules or self._wants_inputs):
             raise ValueError("target spec selects nothing in this model")
+
+        self.fast = fast
+        self._fast_prefix = _UNSET
+        self._fast_evaluator = _UNSET
+        if fast and not self._parameter_only():
+            raise ValueError(
+                "fast=True requires parameter-only fault surfaces; transient "
+                "(activation/input) injection redraws faults per forward pass "
+                "and cannot reuse cached activations"
+            )
 
         self._x = Tensor(self.inputs)
         self._golden_error = self._evaluate_clean()
@@ -181,6 +210,48 @@ class BayesianFaultInjector:
             stack.enter_context(InputInjector(self.model, fault_model, rng))
         return stack
 
+    # ------------------------------------------------------------------ #
+    # fast-path machinery (bit-identical to the standard path)
+    # ------------------------------------------------------------------ #
+
+    def _parameter_only(self) -> bool:
+        """Whether every selected fault surface is a parameter surface."""
+        return self._wants_parameters and not self.activation_modules and not self._wants_inputs
+
+    def _prefix_forward(self) -> PrefixCachedForward | None:
+        """Lazily built clean-prefix forward, or ``None`` when unavailable.
+
+        Engages only for parameter-only campaigns (transient hooks corrupt
+        prefix activations, so a cached prefix would miss them) and only when
+        the model decomposes into a verified forward chain with a non-trivial
+        cut point.
+        """
+        if self._fast_prefix is _UNSET:
+            prefix = None
+            if self.fast is not False and self._parameter_only():
+                candidate = PrefixCachedForward(
+                    self.model, self._x, [name for name, _ in self.parameter_targets]
+                )
+                if candidate.engaged:
+                    prefix = candidate
+            self._fast_prefix = prefix
+        return self._fast_prefix
+
+    def _batched_evaluator(self) -> BatchedNetworkEvaluator | None:
+        """Lazily built batched evaluator, or ``None`` when unavailable."""
+        if self._fast_evaluator is _UNSET:
+            evaluator = None
+            if self.fast is not False and self._parameter_only():
+                try:
+                    evaluator = BatchedNetworkEvaluator(self)
+                except (TypeError, ValueError) as exc:
+                    if self.fast is True:
+                        raise ValueError(
+                            f"fast=True but batched evaluation is unavailable: {exc}"
+                        ) from exc
+            self._fast_evaluator = evaluator
+        return self._fast_evaluator
+
     def make_statistic(
         self,
         fault_model: FaultModel,
@@ -201,6 +272,7 @@ class BayesianFaultInjector:
         polluting the misclassification statistic.
         """
         hazard_guard = guard or self._active_guard or NumericalHazardGuard()
+        fast_forward = self._prefix_forward()
 
         def statistic(configuration: FaultConfiguration) -> float:
             if self._active_metrics is not None:
@@ -220,7 +292,10 @@ class BayesianFaultInjector:
                 stack.enter_context(self._transient_context(fault_model, rng))
                 with obs.phase("forward.eval"):
                     with no_grad():
-                        logits = self.model(self._x)
+                        if fast_forward is not None:
+                            logits = fast_forward.forward()
+                        else:
+                            logits = self.model(self._x)
             return hazard_guard.score(logits, self.labels)
 
         return statistic
@@ -465,6 +540,9 @@ class BayesianFaultInjector:
     def _execute_forward(self, spec: ForwardSpec) -> CampaignResult:
         p, stream = spec.p, spec.stream
         model = self._fault_model(p, spec.fault_model)
+        evaluator = self._batched_evaluator()
+        if evaluator is not None:
+            return self._execute_forward_fast(spec, model, evaluator)
         rng = self._rng_factory.stream(f"{stream}:p={p!r}")
         sampler = ForwardSampler(
             self.parameter_targets or self._pseudo_targets(),
@@ -474,6 +552,60 @@ class BayesianFaultInjector:
         steps = max(1, spec.samples // spec.chains)
         chain_set = sampler.run(chains=spec.chains, steps=steps, rng=rng)
         return self._package(p, chain_set, "forward", discard_fraction=0.0)
+
+    def _execute_forward_fast(
+        self, spec: ForwardSpec, fault_model: FaultModel, evaluator: BatchedNetworkEvaluator
+    ) -> CampaignResult:
+        """i.i.d. forward campaign on the batched fast path.
+
+        Bit-identical to the standard :class:`ForwardSampler` executor: the
+        same stream splits into the same per-chain generators, each chain
+        draws the same configurations in the same order (the parameter-only
+        statistic consumes no randomness during evaluation), and the batched
+        logits are bit-identical to the sequential faulted forwards — so the
+        recorded chains, posterior, and digest all match exactly. Only the
+        evaluation order changes: configurations are scored ``_FAST_CHUNK``
+        at a time through one stacked-einsum sweep.
+        """
+        p, stream = spec.p, spec.stream
+        if spec.chains <= 0:
+            raise ValueError(f"chains must be positive, got {spec.chains}")
+        rng = self._rng_factory.stream(f"{stream}:p={p!r}")
+        generators = spawn_generators(rng, spec.chains)
+        steps = max(1, spec.samples // spec.chains)
+        guard = self._active_guard or NumericalHazardGuard()
+        chains = []
+        for chain_id, generator in enumerate(generators):
+            chain = Chain(chain_id)
+            with obs.span("chain.forward", chain_id=chain_id, steps=steps):
+                configurations = [
+                    FaultConfiguration.sample(self.parameter_targets, fault_model, generator)
+                    for _ in range(steps)
+                ]
+                done = 0
+                for start in range(0, steps, _FAST_CHUNK):
+                    chunk = configurations[start : start + _FAST_CHUNK]
+                    if self._active_metrics is not None:
+                        for configuration in chunk:
+                            _record_configuration(self._active_metrics, configuration)
+                    with obs.phase("forward.eval"):
+                        logits = evaluator.evaluate_logits(chunk, guard=guard)
+                    for configuration, row in zip(chunk, logits):
+                        value = guard.score(row, self.labels)
+                        chain.record(value, configuration.total_flips(), accepted=True)
+                        done += 1
+                        if obs.progress() is not None and done % PROGRESS_EVERY == 0:
+                            window = chain.recent(PROGRESS_EVERY)
+                            obs.publish(
+                                "chain.progress",
+                                sampler="forward",
+                                chain_id=chain_id,
+                                step=done,
+                                steps=steps,
+                                window_mean=float(window.mean()),
+                            )
+            chains.append(chain)
+        return self._package(p, ChainSet(chains), "forward", discard_fraction=0.0)
 
     def _execute_mcmc(self, spec: McmcSpec) -> CampaignResult:
         if not self._wants_parameters:

@@ -81,6 +81,11 @@ class LayerwiseCampaign:
         layer campaigns are durably recorded; re-running skips journaled
         layers bit-identically (per-layer keys include the layer's target
         spec and derived seed).
+    fast:
+        Fast-path selection forwarded to every per-layer injector (``None``
+        auto-enables the bit-identical prefix-cached/batched forward path —
+        layerwise campaigns are its best case, since deep layers reuse long
+        clean prefixes; ``False`` forces the standard path).
     """
 
     model: Module
@@ -94,6 +99,7 @@ class LayerwiseCampaign:
     executor: ParallelCampaignExecutor | None = None
     model_builder: Callable[[], Module] | None = None
     journal: object | None = None
+    fast: bool | None = None
     results: list[LayerResult] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -122,6 +128,7 @@ class LayerwiseCampaign:
                         spec=self._layer_spec(layer),
                         seed=self.seed + depth,
                         model_builder=self.model_builder,
+                        fast=self.fast,
                     ),
                 )
                 for depth, layer in enumerate(self.layers)
@@ -146,7 +153,7 @@ class LayerwiseCampaign:
                     continue
             injector = BayesianFaultInjector(
                 self.model, self.inputs, self.labels,
-                spec=self._layer_spec(layer), seed=self.seed + depth,
+                spec=self._layer_spec(layer), seed=self.seed + depth, fast=self.fast,
             )
             outcome = injector.run(spec)
             if self.journal is not None:

@@ -85,6 +85,10 @@ class InjectorRecipe:
     model_builder: Callable[[], Any] | None = None
     state: Mapping[str, np.ndarray] | None = None
     model: Any | None = None
+    #: fast-path selection forwarded to the injector (None = auto-detect);
+    #: workers rebuild their own prefix caches and batched evaluators, so
+    #: the choice travels with the recipe rather than the live injector
+    fast: bool | None = None
 
     def __post_init__(self) -> None:
         if (self.model is None) == (self.model_builder is None):
@@ -102,6 +106,7 @@ class InjectorRecipe:
         spec: TargetSpec | None = None,
         seed: int = 0,
         model_builder: Callable[[], Any] | None = None,
+        fast: bool | None = None,
     ) -> "InjectorRecipe":
         """Capture a live golden model, preferring checkpoint transport.
 
@@ -110,7 +115,9 @@ class InjectorRecipe:
         embedded whole.
         """
         if model_builder is None:
-            return cls(inputs=inputs, labels=labels, seed=seed, target_spec=spec, model=model)
+            return cls(
+                inputs=inputs, labels=labels, seed=seed, target_spec=spec, model=model, fast=fast
+            )
         state = {name: array.copy() for name, array in model.state_dict().items()}
         return cls(
             inputs=inputs,
@@ -119,6 +126,7 @@ class InjectorRecipe:
             target_spec=spec,
             model_builder=model_builder,
             state=state,
+            fast=fast,
         )
 
     def build(self):
@@ -132,7 +140,7 @@ class InjectorRecipe:
             if self.state is not None:
                 model.load_state_dict(dict(self.state))
         return BayesianFaultInjector(
-            model, self.inputs, self.labels, spec=self.target_spec, seed=self.seed
+            model, self.inputs, self.labels, spec=self.target_spec, seed=self.seed, fast=self.fast
         )
 
 

@@ -28,6 +28,7 @@ from repro.faults.heterogeneous import HeterogeneousBitFlipModel
 from repro.faults.single import SingleBitFlipModel, StuckAtModel, ByteErrorModel
 from repro.faults.burst import BurstBitFlipModel
 from repro.faults.configuration import FaultConfiguration
+from repro.faults.sparse import SparseMask
 from repro.faults.injection import (
     apply_configuration,
     inject_parameters,
@@ -48,6 +49,7 @@ __all__ = [
     "ByteErrorModel",
     "BurstBitFlipModel",
     "FaultConfiguration",
+    "SparseMask",
     "apply_configuration",
     "inject_parameters",
     "ActivationInjector",

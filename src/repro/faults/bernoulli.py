@@ -15,8 +15,14 @@ import math
 
 import numpy as np
 
-from repro.bits.float32 import BITS_PER_FLOAT, count_set_bits, sample_bernoulli_mask
+from repro.bits.float32 import (
+    BITS_PER_FLOAT,
+    count_set_bits,
+    sample_bernoulli_mask,
+    sample_flip_positions,
+)
 from repro.faults.model import FaultModel
+from repro.faults.sparse import SparseMask
 
 __all__ = ["BernoulliBitFlipModel"]
 
@@ -35,8 +41,12 @@ class BernoulliBitFlipModel(FaultModel):
             if lanes.min() < 0 or lanes.max() >= BITS_PER_FLOAT:
                 raise ValueError("bit lanes must be in [0, 32)")
             self.bits: np.ndarray | None = lanes
+            self._allowed = np.uint32(
+                np.bitwise_or.reduce(np.uint32(1) << lanes.astype(np.uint32))
+            )
         else:
             self.bits = None
+            self._allowed = np.uint32(0xFFFFFFFF)
 
     @property
     def lanes_per_element(self) -> int:
@@ -45,6 +55,18 @@ class BernoulliBitFlipModel(FaultModel):
     def sample_mask(self, shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
         return sample_bernoulli_mask(shape, self.p, rng, bits=self.bits)
 
+    def sample_sparse_for(self, values: np.ndarray, rng: np.random.Generator) -> SparseMask:
+        """Sparse-native draw: identical RNG consumption to :meth:`sample_mask`.
+
+        Both paths route through :func:`sample_flip_positions`, so the drawn
+        positions — and therefore every downstream statistic — are
+        bit-identical whichever representation a campaign uses.
+        """
+        shape = np.asarray(values).shape
+        n = int(np.prod(shape)) if shape else 1
+        positions = sample_flip_positions(n, self.p, rng, bits=self.bits)
+        return SparseMask.from_positions(positions, shape)
+
     def log_prob_mask(self, mask: np.ndarray) -> float:
         """log P(mask) under i.i.d. Bernoulli(p) bits.
 
@@ -52,14 +74,18 @@ class BernoulliBitFlipModel(FaultModel):
         them has probability zero (−inf).
         """
         mask = np.asarray(mask, dtype=np.uint32)
-        if self.bits is not None:
-            allowed = np.uint32(0)
-            for lane in self.bits:
-                allowed |= np.uint32(1) << np.uint32(lane)
-            if np.any(mask & ~allowed):
-                return -math.inf
-        k = count_set_bits(mask)
-        n_lanes = mask.size * self.lanes_per_element
+        if self.bits is not None and np.any(mask & ~self._allowed):
+            return -math.inf
+        return self._log_prob(count_set_bits(mask), mask.size)
+
+    def log_prob_sparse(self, sparse: SparseMask) -> float:
+        """O(K) density: the Bernoulli likelihood needs only the flip count."""
+        if self.bits is not None and np.any(sparse.lane_masks & ~self._allowed):
+            return -math.inf
+        return self._log_prob(sparse.count_set_bits(), sparse.size)
+
+    def _log_prob(self, k: int, n_elements: int) -> float:
+        n_lanes = n_elements * self.lanes_per_element
         if self.p == 0.0:
             return 0.0 if k == 0 else -math.inf
         if self.p == 1.0:

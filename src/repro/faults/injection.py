@@ -22,6 +22,7 @@ from typing import Iterator
 
 import numpy as np
 
+import repro.obs as obs
 from repro.bits.float32 import apply_bit_mask
 from repro.faults.configuration import FaultConfiguration
 from repro.faults.model import FaultModel
@@ -30,24 +31,54 @@ from repro.tensor.tensor import Tensor
 
 __all__ = ["apply_configuration", "inject_parameters", "ActivationInjector", "InputInjector"]
 
+#: above this touched-element fraction the full-copy path beats fancy indexing
+_SPARSE_DENSITY_LIMIT = 0.25
+
 
 @contextlib.contextmanager
 def apply_configuration(model: Module, configuration: FaultConfiguration) -> Iterator[Module]:
     """Context manager: corrupt the named parameters, restore on exit.
 
-    The restore path copies the saved golden bytes back even if the body
-    raises, so a crashed evaluation cannot leak faults into later runs.
+    Copy-on-write at bit granularity: targets with empty masks are skipped
+    outright, and a sparsely faulted target saves and restores only its
+    touched elements (O(K) per evaluation) instead of snapshotting the full
+    golden array. Densely faulted targets — above ~25 % touched elements,
+    where fancy indexing loses to a contiguous copy — fall back to the full
+    save/XOR/restore. Both paths write the exact golden bits back even if
+    the body raises, so a crashed evaluation cannot leak faults into later
+    runs.
     """
-    saved: dict[str, np.ndarray] = {}
+    # (flat float32 view, touched indices | None for full-copy, golden bits)
+    saved: list[tuple[np.ndarray, np.ndarray | None, np.ndarray]] = []
     try:
-        for name, mask in configuration.items():
+        for name in configuration.names():
+            if not configuration.touches(name):
+                continue
             param = model.get_parameter(name)
-            saved[name] = param.data.copy()
-            param.data[...] = apply_bit_mask(param.data, mask)
+            data = param.data
+            sparse = configuration.sparse(name)
+            dense_fallback = (
+                data.dtype != np.float32
+                or not data.flags["C_CONTIGUOUS"]
+                or sparse.touched > _SPARSE_DENSITY_LIMIT * max(1, data.size)
+            )
+            if dense_fallback:
+                golden = data.copy()
+                data[...] = apply_bit_mask(data, configuration.mask(name))
+                saved.append((data, None, golden))
+            else:
+                with obs.phase("flip.sparse"):
+                    flat = data.reshape(-1)
+                    golden = flat[sparse.elements]  # fancy indexing copies
+                    flat.view(np.uint32)[sparse.elements] ^= sparse.lane_masks
+                    saved.append((flat, sparse.elements, golden))
         yield model
     finally:
-        for name, golden in saved.items():
-            model.get_parameter(name).data[...] = golden
+        for flat, elements, golden in reversed(saved):
+            if elements is None:
+                flat[...] = golden
+            else:
+                flat[elements] = golden
 
 
 @contextlib.contextmanager

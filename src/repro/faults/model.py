@@ -50,6 +50,26 @@ class FaultModel:
         """
         return self.sample_mask(np.asarray(values).shape, rng)
 
+    def sample_sparse_for(self, values: np.ndarray, rng: np.random.Generator):
+        """Draw a corruption of ``values`` as a :class:`~repro.faults.sparse.SparseMask`.
+
+        Consumes exactly the same RNG draws as :meth:`sample_mask_for` and
+        denotes the same mask. The base implementation densifies then
+        converts; sparse-native models (Bernoulli) override it to stay O(K)
+        in the number of flipped bits.
+        """
+        from repro.faults.sparse import SparseMask
+
+        return SparseMask.from_dense(self.sample_mask_for(values, rng))
+
+    def log_prob_sparse(self, sparse) -> float:
+        """Log-probability of a :class:`~repro.faults.sparse.SparseMask` draw.
+
+        Default densifies; models whose density depends only on the flip
+        count and lane occupancy (Bernoulli) override it to stay O(K).
+        """
+        return self.log_prob_mask(sparse.to_dense())
+
     def corrupt(self, values: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Return a corrupted copy of ``values`` (float32)."""
         mask = self.sample_mask_for(np.asarray(values, dtype=np.float32), rng)

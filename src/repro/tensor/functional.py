@@ -28,6 +28,14 @@ __all__ = [
 ]
 
 
+#: gather-index cache — the indices depend only on the geometry below, not
+#: on the batch size or data, so every forward pass of a fixed architecture
+#: hits after the first. Bounded FIFO; entries are marked read-only since
+#: they are shared across callers.
+_IM2COL_CACHE: dict[tuple[int, int, int, int, int, int, int], tuple] = {}
+_IM2COL_CACHE_LIMIT = 128
+
+
 def im2col_indices(
     x_shape: tuple[int, int, int, int], kh: int, kw: int, stride: int, padding: int
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
@@ -35,6 +43,8 @@ def im2col_indices(
 
     Returns ``(k, i, j, out_h, out_w)`` where ``k, i, j`` index channel, row
     and column respectively, each of shape ``(C*kh*kw, out_h*out_w)``.
+    Results are cached on the geometry (batch size is irrelevant), so the
+    returned index arrays are shared and read-only.
     """
     _, channels, height, width = x_shape
     out_h = (height + 2 * padding - kh) // stride + 1
@@ -44,6 +54,10 @@ def im2col_indices(
             f"kernel ({kh}x{kw}, stride={stride}, padding={padding}) larger than "
             f"padded input ({height}x{width})"
         )
+    key = (channels, height, width, kh, kw, stride, padding)
+    cached = _IM2COL_CACHE.get(key)
+    if cached is not None:
+        return cached
 
     i0 = np.repeat(np.arange(kh), kw)
     i0 = np.tile(i0, channels)
@@ -53,6 +67,11 @@ def im2col_indices(
     i = i0.reshape(-1, 1) + i1.reshape(1, -1)
     j = j0.reshape(-1, 1) + j1.reshape(1, -1)
     k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
+    for index in (k, i, j):
+        index.flags.writeable = False
+    if len(_IM2COL_CACHE) >= _IM2COL_CACHE_LIMIT:
+        _IM2COL_CACHE.pop(next(iter(_IM2COL_CACHE)))
+    _IM2COL_CACHE[key] = (k, i, j, out_h, out_w)
     return k, i, j, out_h, out_w
 
 
@@ -169,8 +188,27 @@ def avg_pool2d(x: Tensor, kernel_size: int, stride: int | None = None) -> Tensor
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:
-    """Average over all spatial positions: NCHW → NC."""
+    """Average over all spatial positions: NCHW → NC.
+
+    The input is made C-contiguous before reducing: numpy's pairwise
+    summation visits elements in memory order, so the mean's low-order bits
+    would otherwise depend on the (implementation-defined) stride layout
+    the upstream einsum happened to produce — and the batched fast path
+    must reproduce the standard path bit-for-bit.
+    """
+    if not x.data.flags["C_CONTIGUOUS"]:
+        x = _as_contiguous(x)
     return x.mean(axis=(2, 3))
+
+
+def _as_contiguous(x: Tensor) -> Tensor:
+    """C-ordered copy of ``x`` as a tape-preserving identity op."""
+    out_data = np.ascontiguousarray(x.data)
+
+    def _backward(grad: np.ndarray) -> None:
+        x._accumulate(grad)
+
+    return Tensor._make(out_data, (x,), _backward, "contiguous")
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:

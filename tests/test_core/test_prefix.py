@@ -1,0 +1,121 @@
+"""Clean-prefix activation caching: chain decomposition and bit-identity."""
+
+import numpy as np
+import pytest
+
+from repro.core.prefix import PrefixCachedForward, forward_chain, owning_step, run_chain
+from repro.faults import BernoulliBitFlipModel, FaultConfiguration, TargetSpec, apply_configuration
+from repro.faults.targets import resolve_parameter_targets
+from repro.nn import LeNet, MLP
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor, no_grad
+
+
+def logits_bits(tensor):
+    return np.ascontiguousarray(tensor.data).view(np.uint8)
+
+
+class TestForwardChain:
+    def test_mlp_chain_matches_forward(self, trained_mlp, moons_eval):
+        x = Tensor(moons_eval[0])
+        steps = forward_chain(trained_mlp)
+        assert steps is not None
+        with no_grad():
+            direct = trained_mlp(x)
+            chained = run_chain(steps, x)
+        assert np.array_equal(logits_bits(direct), logits_bits(chained))
+
+    def test_resnet_chain_matches_forward(self, tiny_resnet, tiny_images):
+        x = Tensor(tiny_images[0])
+        steps = forward_chain(tiny_resnet)
+        assert steps is not None
+        with no_grad():
+            direct = tiny_resnet(x)
+            chained = run_chain(steps, x)
+        assert np.array_equal(logits_bits(direct), logits_bits(chained))
+
+    def test_lenet_chain_matches_forward(self, rng):
+        model = LeNet(in_channels=1, image_size=12, rng=0).eval()
+        x = Tensor(rng.normal(size=(4, 1, 12, 12)).astype(np.float32))
+        steps = forward_chain(model)
+        with no_grad():
+            direct = model(x)
+            chained = run_chain(steps, x)
+        assert np.array_equal(logits_bits(direct), logits_bits(chained))
+
+    def test_unsupported_model_returns_none(self):
+        class Custom(Module):
+            def forward(self, x):  # pragma: no cover - structure only
+                return x
+
+        assert forward_chain(Custom()) is None
+
+    def test_owning_step(self, tiny_resnet):
+        steps = forward_chain(tiny_resnet)
+        fc_owner = owning_step(steps, "fc.weight")
+        stem_owner = owning_step(steps, "stem.0.weight")
+        assert fc_owner == len(steps) - 1
+        assert stem_owner is not None and stem_owner < fc_owner
+        assert owning_step(steps, "nonexistent.weight") is None
+
+
+class TestPrefixCachedForward:
+    @pytest.mark.parametrize("layer", ["layers.2"])
+    @pytest.mark.parametrize("p", [1e-7, 1e-3, 0.5])
+    def test_mlp_faulted_forward_bit_identical(self, trained_mlp, moons_eval, layer, p, rng):
+        x = Tensor(moons_eval[0])
+        targets = resolve_parameter_targets(trained_mlp, TargetSpec.single_layer(layer))
+        cached = PrefixCachedForward(trained_mlp, x, [name for name, _ in targets])
+        assert cached.engaged
+        for _ in range(5):
+            configuration = FaultConfiguration.sample(targets, BernoulliBitFlipModel(p), rng)
+            with apply_configuration(trained_mlp, configuration), no_grad(), np.errstate(all="ignore"):
+                fast = cached.forward()
+                standard = trained_mlp(x)
+            assert np.array_equal(logits_bits(fast), logits_bits(standard))
+
+    @pytest.mark.parametrize("layer", ["stages.3.1.conv2", "fc"])
+    def test_resnet_faulted_forward_bit_identical(self, tiny_resnet, tiny_images, layer, rng):
+        x = Tensor(tiny_images[0])
+        targets = resolve_parameter_targets(tiny_resnet, TargetSpec.single_layer(layer))
+        cached = PrefixCachedForward(tiny_resnet, x, [name for name, _ in targets])
+        assert cached.engaged
+        for p in (1e-3, 0.5):
+            configuration = FaultConfiguration.sample(targets, BernoulliBitFlipModel(p), rng)
+            with apply_configuration(tiny_resnet, configuration), no_grad(), np.errstate(all="ignore"):
+                fast = cached.forward()
+                standard = tiny_resnet(x)
+            assert np.array_equal(logits_bits(fast), logits_bits(standard))
+
+    def test_first_layer_target_disengages(self, trained_mlp, moons_eval, tiny_resnet, tiny_images):
+        # MLP: only the synthetic flatten precedes layers.0 — nothing to cache
+        x = Tensor(moons_eval[0])
+        targets = resolve_parameter_targets(trained_mlp, TargetSpec.single_layer("layers.0"))
+        cached = PrefixCachedForward(trained_mlp, x, [name for name, _ in targets])
+        assert not cached.engaged
+        # ResNet: the stem conv is the very first chain step (cut = 0)
+        targets = resolve_parameter_targets(tiny_resnet, TargetSpec.single_layer("stem.0"))
+        cached = PrefixCachedForward(
+            tiny_resnet, Tensor(tiny_images[0]), [name for name, _ in targets]
+        )
+        assert not cached.engaged
+
+    def test_unsupported_model_disengages(self, moons_eval):
+        class Custom(Module):
+            def __init__(self):
+                super().__init__()
+                self.inner = MLP(2, (4,), 2, rng=0)
+
+            def forward(self, x):
+                return self.inner(x)
+
+        model = Custom().eval()
+        cached = PrefixCachedForward(model, Tensor(moons_eval[0]), ["inner.layers.0.weight"])
+        assert not cached.engaged
+
+    def test_prefix_activation_computed_once(self, trained_mlp, moons_eval):
+        x = Tensor(moons_eval[0])
+        targets = resolve_parameter_targets(trained_mlp, TargetSpec.single_layer("layers.2"))
+        cached = PrefixCachedForward(trained_mlp, x, [name for name, _ in targets])
+        first = cached.prefix_activation()
+        assert cached.prefix_activation() is first
