@@ -19,6 +19,14 @@ campaign to a crash-safe, fsync'd journal; after a crash, re-running the
 same command with ``--resume`` skips completed campaigns and produces
 results bit-identical to an uninterrupted run.
 
+``--chaos site=rate[:count],...`` (campaign/sweep/layerwise) injects
+deterministic, seeded infrastructure faults (worker SIGKILL, torn journal
+tails, failing fsyncs — see :mod:`repro.exec.chaos`) to rehearse the
+recovery paths; a chaos run that completes is bit-identical to a clean
+one. ``--on-failure degrade`` quarantines poison tasks instead of
+aborting, reporting explicit completed/failed accounting;
+``--max-attempts`` and ``--backoff`` tune the retry policy.
+
 ``--trace PATH`` / ``--metrics PATH`` / ``--progress [PATH]``
 (campaign/sweep/layerwise/assess) turn on the :mod:`repro.obs`
 instrumentation: a Chrome-trace JSON timeline (open in Perfetto), the
@@ -52,6 +60,8 @@ from repro.data import ArrayDataset, DataLoader, SyntheticImageConfig, make_synt
 from repro.exec import (
     AdaptiveSpec,
     CampaignJournal,
+    ChaosError,
+    ChaosPlan,
     ForwardSpec,
     InjectorRecipe,
     JournalError,
@@ -198,6 +208,71 @@ def _add_durability(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject deterministic infrastructure faults: comma-separated "
+             "site=rate[:count] rules, e.g. 'worker.sigkill=0.2,journal.torn_tail=0.3:1'. "
+             "A chaos run that completes is bit-identical to a clean one",
+    )
+    group.add_argument(
+        "--chaos-seed", type=int, default=0, metavar="N",
+        help="seed for the chaos decision hash (default: 0)",
+    )
+    group.add_argument(
+        "--on-failure", choices=("abort", "degrade"), default="abort",
+        help="'abort' (default) raises on a task that exhausts its attempts; "
+             "'degrade' quarantines it and completes the rest, with explicit "
+             "completed/failed accounting in the output",
+    )
+    group.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="tries per task (first run + retries) before giving up (default: 3)",
+    )
+    group.add_argument(
+        "--backoff", type=float, default=0.0, metavar="SECONDS",
+        help="base retry backoff; attempt n waits backoff * 2^(n-1) scaled by "
+             "deterministic jitter (default: 0 = retry immediately)",
+    )
+
+
+def _chaos_plan(args) -> ChaosPlan | None:
+    """The --chaos plan, parsed and validated (SystemExit on bad syntax)."""
+    spec = getattr(args, "chaos", None)
+    if not spec:
+        return None
+    try:
+        return ChaosPlan.parse(spec, seed=getattr(args, "chaos_seed", 0))
+    except ChaosError as exc:
+        raise SystemExit(f"--chaos: {exc}") from exc
+
+
+def _resilient_executor(recipe, args, journal) -> ParallelCampaignExecutor:
+    """Build the campaign executor honouring the resilience flags."""
+    if getattr(args, "max_attempts", 3) < 1:
+        raise SystemExit(f"--max-attempts must be >= 1, got {args.max_attempts}")
+    if getattr(args, "backoff", 0.0) < 0:
+        raise SystemExit(f"--backoff must be non-negative, got {args.backoff}")
+    return ParallelCampaignExecutor(
+        recipe,
+        workers=args.workers,
+        journal=journal,
+        max_attempts=getattr(args, "max_attempts", 3),
+        on_failure=getattr(args, "on_failure", "abort"),
+        backoff_s=getattr(args, "backoff", 0.0),
+        chaos=_chaos_plan(args),
+    )
+
+
+def _needs_executor(args) -> bool:
+    """Whether the resilience flags demand the executor path at workers=1."""
+    return (
+        getattr(args, "chaos", None) is not None
+        or getattr(args, "on_failure", "abort") != "abort"
+    )
+
+
 def _add_fast(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fast", action=argparse.BooleanOptionalAction, default=None,
@@ -256,11 +331,23 @@ def _setup_observability(args) -> None:
 
 
 def _finalize_observability(args) -> None:
-    """Flush requested artifacts; runs even when the command fails (partial data helps)."""
+    """Flush requested artifacts; runs even when the command fails (partial data helps).
+
+    Artifact writes are best-effort: a full disk at shutdown must not mask
+    the command's own exit status, so each failure is reported and skipped.
+    """
+    def _write(label: str, path: str, write: Callable[[], None], hint: str = "") -> None:
+        try:
+            write()
+        except OSError as exc:
+            print(f"warning: could not write {label} to {path}: {exc}", file=sys.stderr)
+        else:
+            print(f"{label} written to {path}{hint}", file=sys.stderr)
+
     trace_path = getattr(args, "trace", None)
     if trace_path and obs.tracer().enabled:
-        obs.tracer().save(trace_path)
-        print(f"trace written to {trace_path} (open in Perfetto)", file=sys.stderr)
+        _write("trace", trace_path, lambda: obs.tracer().save(trace_path),
+               hint=" (open in Perfetto)")
     profile_arg = getattr(args, "profile", None)
     profiler = obs.profiler()
     registry = obs.metrics()
@@ -270,20 +357,41 @@ def _finalize_observability(args) -> None:
             profiler.publish_to(registry)
         print(profiler.hotspot_table(), file=sys.stderr)
         if profile_arg != "-":
-            profiler.save_collapsed(profile_arg)
-            print(
-                f"collapsed stacks written to {profile_arg} (open in speedscope)",
-                file=sys.stderr,
-            )
+            _write("collapsed stacks", profile_arg,
+                   lambda: profiler.save_collapsed(profile_arg),
+                   hint=" (open in speedscope)")
     metrics_path = getattr(args, "metrics", None)
     if metrics_path and registry is not None:
-        atomic_write_json(metrics_path, registry.snapshot())
-        print(f"metrics written to {metrics_path}", file=sys.stderr)
+        _write("metrics", metrics_path,
+               lambda: atomic_write_json(metrics_path, registry.snapshot()))
 
 
 def _print_executor_summary(executor) -> None:
     if executor is not None:
         print(f"executor: {executor.stats.summary()}")
+
+
+def _validate_journal_path(path: str) -> None:
+    """Fail fast on an unusable --journal path, before any campaign work.
+
+    A journal that cannot be created or appended to would otherwise
+    surface as a raw ``OSError`` mid-campaign — after minutes of work.
+    """
+    parent = os.path.dirname(os.path.abspath(path)) or "."
+    if not os.path.isdir(parent):
+        raise SystemExit(
+            f"--journal: parent directory {parent!r} does not exist; "
+            "create it first (the journal file itself is created for you)"
+        )
+    if not os.access(parent, os.W_OK):
+        raise SystemExit(f"--journal: directory {parent!r} is not writable")
+    if os.path.exists(path):
+        if os.path.isdir(path):
+            raise SystemExit(f"--journal: {path!r} is a directory, not a file")
+        if not os.access(path, os.W_OK):
+            raise SystemExit(
+                f"--journal: {path!r} is read-only; journals must be appendable to record progress"
+            )
 
 
 def _open_journal(args, specs) -> CampaignJournal | None:
@@ -297,6 +405,7 @@ def _open_journal(args, specs) -> CampaignJournal | None:
         raise SystemExit("--resume requires --journal PATH (nothing to resume from)")
     if not args.journal:
         return None
+    _validate_journal_path(args.journal)
     fingerprint = campaign_fingerprint(specs, args.seed)
     try:
         if args.resume:
@@ -364,12 +473,19 @@ def _cmd_campaign(args) -> int:
     spec = _campaign_spec_from_args(args)
     journal = _open_journal(args, [spec])
     executor = None
-    if args.workers > 1 or journal is not None:
+    if args.workers > 1 or journal is not None or _needs_executor(args):
         # the executor path journals completed tasks even at workers=1
-        executor = ParallelCampaignExecutor(recipe, workers=args.workers, journal=journal)
+        executor = _resilient_executor(recipe, args, journal)
         campaign = executor.run([spec])[0]
     else:
         campaign = injector.run(spec)
+    if campaign is None:  # quarantined under --on-failure degrade
+        failure = executor.stats.failed_tasks[0] if executor.stats.failed_tasks else None
+        reason = failure.reason if failure else "task failed"
+        print(f"campaign FAILED ({reason}); no result (ran with --on-failure degrade)")
+        _print_journal_status(journal, executor)
+        _print_executor_summary(executor)
+        return 1
     if isinstance(campaign, tuple):  # tempering: (result, weighted error)
         campaign = campaign[0]
     print(campaign)
@@ -388,13 +504,22 @@ def _cmd_sweep(args) -> int:
     base_spec = ForwardSpec(p=float(p_values[0]), samples=args.samples, chains=args.chains)
     journal = _open_journal(args, [base_spec.with_p(float(p)) for p in p_values])
     executor = None
-    if args.workers > 1:
-        executor = ParallelCampaignExecutor(recipe, workers=args.workers, journal=journal)
+    if args.workers > 1 or _needs_executor(args):
+        executor = _resilient_executor(recipe, args, journal)
     sweep = ProbabilitySweep(
         injector, p_values=p_values, spec=base_spec, executor=executor, journal=journal
     ).run()
     _print_journal_status(journal, executor)
     _print_executor_summary(executor)
+    if sweep.degraded:
+        accounting = sweep.accounting()
+        print(f"DEGRADED result: {accounting['completed']}/{accounting['points']} "
+              f"points completed; failed p = "
+              + ", ".join(f"{entry['p']:.3g} ({entry['cause']})"
+                          for entry in accounting["failed_points"]))
+    if not sweep.points:
+        print("no sweep points completed; nothing to report")
+        return 1
     print(format_table(sweep.table()))
     print()
     print(
@@ -419,8 +544,8 @@ def _cmd_layerwise(args) -> int:
     spec = ForwardSpec(p=args.p, samples=args.samples, chains=1)
     journal = _open_journal(args, [spec])
     executor = None
-    if args.workers > 1:
-        executor = ParallelCampaignExecutor(workers=args.workers, journal=journal)
+    if args.workers > 1 or _needs_executor(args):
+        executor = _resilient_executor(None, args, journal)
     campaign = LayerwiseCampaign(
         model, features[: args.eval_size], labels[: args.eval_size],
         p=args.p, samples=args.samples, chains=1, seed=args.seed,
@@ -430,6 +555,15 @@ def _cmd_layerwise(args) -> int:
     ).run()
     _print_journal_status(journal, executor)
     _print_executor_summary(executor)
+    if campaign.degraded:
+        accounting = campaign.accounting()
+        print(f"DEGRADED result: {accounting['completed']}/{accounting['layers']} "
+              f"layers completed; failed: "
+              + ", ".join(f"{entry['layer']} ({entry['cause']})"
+                          for entry in accounting["failed_layers"]))
+    if not campaign.results:
+        print("no layer campaigns completed; nothing to report")
+        return 1
     print(format_table(campaign.table(), columns=["depth", "layer", "error_pct", "parameters"]))
     stats = campaign.depth_correlation()
     print(f"\ndepth vs error: Spearman rho = {stats['spearman_rho']:+.3f} (p = {stats['spearman_p']:.3f})")
@@ -553,6 +687,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fast(campaign)
     _add_durability(campaign)
+    _add_resilience(campaign)
     _add_observability(campaign)
     campaign.set_defaults(handler=_cmd_campaign)
 
@@ -569,6 +704,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fast(sweep)
     _add_durability(sweep)
+    _add_resilience(sweep)
     _add_observability(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
@@ -582,6 +718,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_fast(layerwise)
     _add_durability(layerwise)
+    _add_resilience(layerwise)
     _add_observability(layerwise)
     layerwise.set_defaults(handler=_cmd_layerwise)
 

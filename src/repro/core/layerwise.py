@@ -101,6 +101,9 @@ class LayerwiseCampaign:
     journal: object | None = None
     fast: bool | None = None
     results: list[LayerResult] = field(default_factory=list)
+    #: layers whose campaign failed under ``on_failure="degrade"``
+    #: (each ``{"layer", "depth", "reason", "cause", "attempts"}``)
+    failed_layers: list[dict] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not 0 < self.p <= 1:
@@ -163,10 +166,28 @@ class LayerwiseCampaign:
 
     def run(self) -> "LayerwiseCampaign":
         self.results = []
+        self.failed_layers = []
         obs.publish("layerwise.start", layers=len(self.layers), p=self.p)
         with obs.span("layerwise", layers=len(self.layers), p=self.p):
             campaigns = self._campaigns()
+        failures = {} if self.executor is None else {
+            failure.index: failure for failure in self.executor.stats.failed_tasks
+        }
         for depth, (layer, campaign) in enumerate(zip(self.layers, campaigns)):
+            if campaign is None:  # quarantined under on_failure="degrade"
+                failure = failures.get(depth)
+                entry = {
+                    "layer": layer,
+                    "depth": depth,
+                    "reason": failure.reason if failure else "task failed",
+                    "cause": failure.cause if failure else "unknown",
+                    "attempts": failure.attempts if failure else 0,
+                }
+                self.failed_layers.append(entry)
+                obs.publish("layerwise.layer_failed", **entry)
+                _LOGGER.warning("layer %s campaign failed (%s); continuing degraded",
+                                layer, entry["reason"])
+                continue
             lo, hi = campaign.posterior.credible_interval()
             params = sum(
                 param.size
@@ -192,6 +213,20 @@ class LayerwiseCampaign:
                 parameters=params,
             )
         return self
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any layer campaign failed (results cover a layer subset)."""
+        return bool(self.failed_layers)
+
+    def accounting(self) -> dict:
+        """Explicit completed/failed breakdown over the layer set."""
+        return {
+            "layers": len(self.layers),
+            "completed": len(self.results),
+            "failed": len(self.failed_layers),
+            "failed_layers": [dict(entry) for entry in self.failed_layers],
+        }
 
     # ------------------------------------------------------------------ #
     # finding F3: depth ↔ error relationship

@@ -91,6 +91,10 @@ class ProbabilitySweep:
     executor: ParallelCampaignExecutor | None = None
     journal: object | None = None
     points: list[SweepPoint] = field(default_factory=list)
+    #: grid points whose campaign failed under ``on_failure="degrade"``
+    #: (each ``{"p", "reason", "cause", "attempts"}``); always empty when
+    #: the executor aborts on failure, so old callers never see a hole
+    failed_points: list[dict] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.p_values:
@@ -129,6 +133,7 @@ class ProbabilitySweep:
     def run(self) -> "ProbabilitySweep":
         """Execute a campaign per probability point (idempotent: clears old points)."""
         self.points = []
+        self.failed_points = []
         specs = [self.spec_for(float(p)) for p in self.p_values]
         obs.publish("sweep.start", points=len(specs), p_min=float(self.p_values[0]),
                     p_max=float(self.p_values[-1]))
@@ -141,7 +146,23 @@ class ProbabilitySweep:
                 campaigns = self._run_journaled(specs)
             else:
                 campaigns = [self.injector.run(spec) for spec in specs]
-        for p, campaign in zip(self.p_values, campaigns):
+        failures = {} if self.executor is None else {
+            failure.index: failure for failure in self.executor.stats.failed_tasks
+        }
+        for index, (p, campaign) in enumerate(zip(self.p_values, campaigns)):
+            if campaign is None:  # quarantined under on_failure="degrade"
+                failure = failures.get(index)
+                entry = {
+                    "p": float(p),
+                    "reason": failure.reason if failure else "task failed",
+                    "cause": failure.cause if failure else "unknown",
+                    "attempts": failure.attempts if failure else 0,
+                }
+                self.failed_points.append(entry)
+                obs.publish("sweep.point_failed", **entry)
+                _LOGGER.warning("sweep point p=%g failed (%s); continuing degraded",
+                                float(p), entry["reason"])
+                continue
             if isinstance(campaign, tuple):  # TemperedSpec: (result, weighted error)
                 campaign = campaign[0]
             lo, hi = campaign.posterior.credible_interval()
@@ -191,6 +212,31 @@ class ProbabilitySweep:
             self.journal.record(key, outcome)
             campaigns.append(outcome)
         return campaigns
+
+    # ------------------------------------------------------------------ #
+    # completeness accounting
+    # ------------------------------------------------------------------ #
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any grid point failed (results cover a subset of the grid)."""
+        return bool(self.failed_points)
+
+    def accounting(self) -> dict:
+        """Explicit completed/failed breakdown over the probability grid.
+
+        ``completed + failed == points`` by construction: every grid point
+        is either backed by a campaign in ``self.points`` or named in
+        ``failed_points`` — no silent loss. Downstream summaries should
+        surface this whenever ``degraded`` is true, so credible intervals
+        are honestly scoped to the completed subset.
+        """
+        return {
+            "points": len(self.p_values),
+            "completed": len(self.points),
+            "failed": len(self.failed_points),
+            "failed_points": [dict(entry) for entry in self.failed_points],
+        }
 
     # ------------------------------------------------------------------ #
     # series accessors (the figure data)

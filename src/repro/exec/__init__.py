@@ -27,10 +27,17 @@ from repro.exec.specs import (
     TemperingSpec,
     spec_from_method,
 )
+from repro.exec.chaos import (
+    ChaosError,
+    ChaosPlan,
+    ChaosRule,
+    chaos_enabled,
+)
 from repro.exec.executor import (
     CampaignExecutionError,
     CampaignTask,
     ExecutionStats,
+    FailedTask,
     InjectorRecipe,
     ParallelCampaignExecutor,
 )
@@ -38,6 +45,7 @@ from repro.exec.journal import (
     CampaignJournal,
     JournalError,
     JournalMismatchError,
+    JournalWriteError,
     campaign_fingerprint,
     journal_key,
     task_key,
@@ -56,11 +64,17 @@ __all__ = [
     "InjectorRecipe",
     "CampaignTask",
     "ExecutionStats",
+    "FailedTask",
     "ParallelCampaignExecutor",
     "CampaignExecutionError",
+    "ChaosError",
+    "ChaosPlan",
+    "ChaosRule",
+    "chaos_enabled",
     "CampaignJournal",
     "JournalError",
     "JournalMismatchError",
+    "JournalWriteError",
     "campaign_fingerprint",
     "journal_key",
     "task_key",

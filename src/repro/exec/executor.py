@@ -25,6 +25,19 @@ becomes *durable*: every completed task is fsync'd to the journal from the
 driver process (so it survives worker SIGKILL), journaled tasks are skipped
 on re-execution, and — because task identity is the RNG key — a resumed run
 is bit-identical to an uninterrupted one.
+
+Failure policy: retries back off exponentially with deterministic jitter,
+retry accounting is broken out by cause (crash / timeout / chaos), and a
+*poison* task — one that exhausts ``max_attempts`` — either aborts the run
+(``on_failure="abort"``, the default) or is quarantined into
+``stats.failed_tasks`` with the run continuing degraded
+(``on_failure="degrade"``); degraded results carry explicit completeness
+accounting so downstream summaries stay honest about what completed.
+
+Chaos sites (:mod:`repro.exec.chaos`): ``worker.sigkill`` /
+``worker.hang`` / ``worker.slow_start`` fire inside the worker keyed on
+``(task index, attempt)``; ``pipe.drop`` / ``pipe.duplicate`` perturb the
+driver's result pipe. All compile to a ``None`` check when chaos is off.
 """
 
 from __future__ import annotations
@@ -33,12 +46,13 @@ import multiprocessing
 import os
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 import repro.obs as obs
+from repro.exec import chaos as chaos_mod
 from repro.exec.specs import CampaignSpec
 from repro.obs.profile import clock_s
 from repro.faults.targets import TargetSpec
@@ -47,10 +61,14 @@ from repro.utils.logging import get_logger
 __all__ = [
     "InjectorRecipe",
     "CampaignTask",
+    "FailedTask",
     "ExecutionStats",
     "ParallelCampaignExecutor",
     "CampaignExecutionError",
 ]
+
+#: retry causes tracked individually (satellite accounting + metrics names)
+RETRY_CAUSES = ("crash", "timeout", "chaos")
 
 _LOGGER = get_logger("exec")
 
@@ -152,12 +170,31 @@ class CampaignTask:
     recipe: InjectorRecipe
 
 
+@dataclass(frozen=True)
+class FailedTask:
+    """One poison task quarantined under ``on_failure="degrade"``."""
+
+    index: int
+    key: str | None
+    reason: str
+    attempts: int
+    cause: str  # "crash" | "timeout" | "chaos" | "error"
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "key": self.key,
+            "reason": self.reason,
+            "attempts": self.attempts,
+            "cause": self.cause,
+        }
+
+
 @dataclass
 class ExecutionStats:
     """Bookkeeping from the last ``execute`` call."""
 
     tasks: int = 0
-    retries: int = 0
     timeouts: int = 0
     crashes: int = 0
     duration_s: float = 0.0
@@ -166,18 +203,64 @@ class ExecutionStats:
     journal_hits: int = 0
     #: liveness beats emitted for still-running workers (``heartbeat_s``)
     heartbeats: int = 0
+    #: retries broken out by cause; ``retries`` is their exact sum
+    retries_by_cause: dict[str, int] = field(
+        default_factory=lambda: {cause: 0 for cause in RETRY_CAUSES}
+    )
+    #: result-pipe messages the driver discarded / saw twice (chaos accounting)
+    pipe_drops: int = 0
+    pipe_duplicates: int = 0
+    #: journal appends that failed durably but were tolerated under degrade
+    journal_errors: int = 0
+    #: poison tasks quarantined instead of aborting (``on_failure="degrade"``)
+    failed_tasks: list[FailedTask] = field(default_factory=list)
+
+    @property
+    def retries(self) -> int:
+        """Total retries across causes (always equals the per-cause sum)."""
+        return sum(self.retries_by_cause.values())
+
+    @property
+    def failed(self) -> int:
+        return len(self.failed_tasks)
+
+    @property
+    def completed(self) -> int:
+        """Tasks with a usable result (fresh runs plus journal hits)."""
+        return self.tasks - self.failed
+
+    def count_retry(self, cause: str) -> None:
+        self.retries_by_cause[cause] = self.retries_by_cause.get(cause, 0) + 1
+
+    def accounting(self) -> dict:
+        """Explicit completeness accounting for degraded results.
+
+        ``completed + failed == tasks`` by construction — a task is either
+        delivered or named in ``failed_tasks``; there is no third bucket,
+        so no silent task loss.
+        """
+        return {
+            "tasks": self.tasks,
+            "completed": self.completed,
+            "failed": self.failed,
+            "failed_tasks": [task.to_dict() for task in self.failed_tasks],
+        }
 
     def summary(self) -> str:
         """One-line completion summary (printed by the CLI)."""
         mode = "parallel" if self.parallel else "sequential"
         line = f"{self.tasks} task(s) in {self.duration_s:.2f}s ({mode})"
+        retry_parts = [
+            f"{cause} {count}" for cause, count in self.retries_by_cause.items() if count
+        ]
         extras = [
             f"{name} {value}"
             for name, value in (
                 ("journal hits", self.journal_hits),
-                ("retries", self.retries),
+                ("retries", f"{self.retries} ({', '.join(retry_parts)})" if retry_parts else 0),
                 ("timeouts", self.timeouts),
                 ("crashes", self.crashes),
+                ("failed", self.failed),
             )
             if value
         ]
@@ -193,7 +276,25 @@ class _Running:
     last_beat: float = 0.0
 
 
-def _worker_main(task: CampaignTask, connection, obs_config=None) -> None:
+def _enact_worker_chaos(chaos_ctx) -> None:
+    """Install the shipped plan in the worker and enact the ``worker.*`` sites.
+
+    Decisions key off ``(task index, attempt)``, so they are identical no
+    matter which pool slot or machine runs the attempt — and a retried
+    attempt rolls fresh coordinates, so a crashy site does not doom a task
+    forever (bounded by ``max_attempts`` either way).
+    """
+    plan, index, attempt = chaos_ctx
+    injector = chaos_mod.install(plan)
+    if injector.should_fire("worker.sigkill", key=(index, attempt)):
+        os._exit(137)  # SIGKILL exit signature: no cleanup, no pipe message
+    if injector.should_fire("worker.hang", key=(index, attempt)):
+        time.sleep(plan.hang_s)
+    if injector.should_fire("worker.slow_start", key=(index, attempt)):
+        time.sleep(plan.slow_start_s)
+
+
+def _worker_main(task: CampaignTask, connection, obs_config=None, chaos_ctx=None) -> None:
     """Worker entry point: rebuild the injector, run the spec, ship the result.
 
     ``obs_config`` is the driver's :class:`~repro.obs.WorkerObsConfig`:
@@ -202,10 +303,16 @@ def _worker_main(task: CampaignTask, connection, obs_config=None) -> None:
     instruments, so worker logs honour the driver's ``set_verbosity`` and
     worker trace events never duplicate driver-recorded ones. Worker-side
     observations ride home as a third tuple element on the result pipe.
+
+    ``chaos_ctx`` is ``(ChaosPlan, task index, attempt)`` when chaos is
+    on: the plan is installed worker-side (so journal/persist hooks fire
+    in workers too) and the ``worker.*`` sites are enacted at startup.
     """
     try:
         if obs_config is not None:
             obs.apply_worker_config(obs_config)
+        if chaos_ctx is not None:
+            _enact_worker_chaos(chaos_ctx)
         with obs.span("worker.task", kind=task.spec.kind, p=task.spec.p):
             injector = task.recipe.build()
             result = injector.run(task.spec)
@@ -252,6 +359,26 @@ class ParallelCampaignExecutor:
         seconds a running task emits an ``executor.heartbeat`` progress
         event (task index, worker pid, elapsed time), so a hung worker is
         visible long before its timeout fires. ``None`` disables beats.
+    on_failure:
+        ``"abort"`` (default): a task that exhausts ``max_attempts`` — or
+        raises deterministically — raises :class:`CampaignExecutionError`,
+        as before. ``"degrade"``: the poison task is quarantined into
+        ``stats.failed_tasks``, its result slot stays ``None``, and the
+        rest of the run completes; ``stats.accounting()`` then reports
+        exactly which tasks completed and which failed.
+    backoff_s:
+        Base delay before re-scheduling a retried task. Attempt *n* waits
+        ``backoff_s * 2**(n-1)``, scaled by a deterministic jitter in
+        [0.5, 1.5) derived from the task index and attempt — no RNG
+        stream is consumed, and two retried tasks never thundering-herd
+        the pool in lockstep. ``0`` (default) retries immediately.
+    chaos:
+        Optional :class:`~repro.exec.chaos.ChaosPlan`. Installed for the
+        duration of :meth:`execute` (unless a plan is already active
+        process-wide) and shipped to workers, so the ``worker.*`` and
+        ``pipe.*`` sites fire deterministically. Chaos never touches
+        campaign RNG streams: a chaos run that completes is bit-identical
+        to a clean one.
     """
 
     def __init__(
@@ -263,6 +390,9 @@ class ParallelCampaignExecutor:
         start_method: str | None = None,
         journal=None,
         heartbeat_s: float | None = None,
+        on_failure: str = "abort",
+        backoff_s: float = 0.0,
+        chaos=None,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -274,6 +404,10 @@ class ParallelCampaignExecutor:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         if heartbeat_s is not None and heartbeat_s <= 0:
             raise ValueError(f"heartbeat_s must be positive, got {heartbeat_s}")
+        if on_failure not in ("abort", "degrade"):
+            raise ValueError(f'on_failure must be "abort" or "degrade", got {on_failure!r}')
+        if backoff_s < 0:
+            raise ValueError(f"backoff_s must be non-negative, got {backoff_s}")
         self.recipe = recipe
         self.workers = workers
         self.timeout_s = timeout_s
@@ -281,6 +415,9 @@ class ParallelCampaignExecutor:
         self._start_method = start_method
         self.journal = journal
         self.heartbeat_s = heartbeat_s
+        self.on_failure = on_failure
+        self.backoff_s = backoff_s
+        self.chaos = chaos
         self.stats = ExecutionStats()
 
     # ------------------------------------------------------------------ #
@@ -295,12 +432,21 @@ class ParallelCampaignExecutor:
         return self.execute([CampaignTask(spec, recipe) for spec in specs])
 
     def execute(self, tasks: Sequence[CampaignTask]) -> list:
-        """Execute arbitrary (spec, recipe) tasks; results in task order."""
+        """Execute arbitrary (spec, recipe) tasks; results in task order.
+
+        Under ``on_failure="degrade"`` the returned list carries ``None``
+        at quarantined-task indexes; consult ``stats.accounting()`` for
+        the explicit completed/failed breakdown.
+        """
         for task in tasks:
             if not isinstance(task.spec, CampaignSpec):
                 raise TypeError(f"task spec must be a CampaignSpec, got {type(task.spec).__name__}")
         self.stats = ExecutionStats(tasks=len(tasks), parallel=self.workers > 1)
         started = clock_s()
+        installed_chaos = False
+        if self.chaos is not None and chaos_mod.active() is None:
+            chaos_mod.install(self.chaos)
+            installed_chaos = True
         try:
             if not tasks:
                 return []
@@ -317,10 +463,15 @@ class ParallelCampaignExecutor:
             except _PoolUnavailable as exc:
                 _LOGGER.warning("worker pool unavailable (%s); falling back to sequential", exc)
                 self.stats.parallel = False
-                remaining = [index for index in pending if results[index] is None]
+                failed = {failure.index for failure in self.stats.failed_tasks}
+                remaining = [
+                    index for index in pending if results[index] is None and index not in failed
+                ]
                 self._execute_sequential(tasks, remaining, results, keys)
             return results
         finally:
+            if installed_chaos:
+                chaos_mod.uninstall()
             self.stats.duration_s = clock_s() - started
             self._flush_stats()
 
@@ -330,11 +481,18 @@ class ParallelCampaignExecutor:
         registry = obs.metrics()
         if registry is not None:
             registry.inc("executor.tasks", stats.tasks)
+            # the aggregate is always the exact sum of the per-cause counters
             registry.inc("executor.retries", stats.retries)
+            for cause, count in stats.retries_by_cause.items():
+                registry.inc(f"executor.retries.{cause}", count)
             registry.inc("executor.timeouts", stats.timeouts)
             registry.inc("executor.crashes", stats.crashes)
             registry.inc("executor.journal_hits", stats.journal_hits)
+            registry.inc("executor.journal_errors", stats.journal_errors)
             registry.inc("executor.heartbeats", stats.heartbeats)
+            registry.inc("executor.failed", stats.failed)
+            registry.inc("executor.pipe_drops", stats.pipe_drops)
+            registry.inc("executor.pipe_duplicates", stats.pipe_duplicates)
             registry.observe("executor.duration_s", stats.duration_s)
         obs.publish(
             "executor.complete",
@@ -343,9 +501,11 @@ class ParallelCampaignExecutor:
             parallel=stats.parallel,
             journal_hits=stats.journal_hits,
             retries=stats.retries,
+            retries_by_cause=dict(stats.retries_by_cause),
             timeouts=stats.timeouts,
             crashes=stats.crashes,
             heartbeats=stats.heartbeats,
+            failed=stats.failed,
         )
 
     # ------------------------------------------------------------------ #
@@ -378,10 +538,31 @@ class ParallelCampaignExecutor:
         return keys, pending
 
     def _record(self, key, outcome) -> None:
-        """Durably journal one completed task (driver process, fsync'd)."""
-        if self.journal is not None and key is not None:
+        """Durably journal one completed task (driver process, fsync'd).
+
+        A failed append (full disk, dying device) aborts the run under
+        ``on_failure="abort"`` — losing durability silently would betray
+        the resume contract — and is tolerated with accounting under
+        ``"degrade"``: the task's *result* is intact, only its journal
+        record is missing, so a later resume re-runs it bit-identically.
+        """
+        if self.journal is None or key is None:
+            return
+        from repro.exec.journal import JournalWriteError
+
+        try:
             with obs.phase("journal.fsync"):
                 self.journal.record(key, outcome)
+        except (JournalWriteError, OSError) as exc:
+            self.stats.journal_errors += 1
+            if self.on_failure == "abort":
+                raise CampaignExecutionError(
+                    f"journal append failed for task {key!r}: {exc}"
+                ) from exc
+            _LOGGER.warning(
+                "journal append failed for task %r (%s); continuing degraded — "
+                "this task will re-run on resume", key, exc,
+            )
 
     # ------------------------------------------------------------------ #
     # sequential fallback
@@ -400,11 +581,18 @@ class ParallelCampaignExecutor:
         for index in pending:
             task = tasks[index]
             recipe_key = id(task.recipe)
-            if recipe_key not in injectors:
-                injectors[recipe_key] = task.recipe.build()
-            # injector.run merges the campaign digest in-process here, so
-            # this path must not merge again (that would double-count)
-            outcome = injectors[recipe_key].run(task.spec)
+            try:
+                if recipe_key not in injectors:
+                    injectors[recipe_key] = task.recipe.build()
+                # injector.run merges the campaign digest in-process here, so
+                # this path must not merge again (that would double-count)
+                outcome = injectors[recipe_key].run(task.spec)
+            except Exception as exc:
+                # in-process failures are deterministic: retrying cannot help
+                if self.on_failure == "abort":
+                    raise
+                self._quarantine(index, keys[index], f"campaign raised: {exc!r}", 1, "error")
+                continue
             results[index] = outcome
             self._record(keys[index], outcome)
             obs.publish("executor.task_done", task=index, campaign=task.spec.kind, p=task.spec.p)
@@ -420,9 +608,13 @@ class ParallelCampaignExecutor:
             return multiprocessing.get_context("fork")
         return multiprocessing.get_context()
 
-    def _spawn(self, ctx, task: CampaignTask, obs_config) -> _Running:
+    def _spawn(self, ctx, task: CampaignTask, obs_config, index: int, attempt: int) -> _Running:
         parent, child = ctx.Pipe(duplex=False)
-        process = ctx.Process(target=_worker_main, args=(task, child, obs_config), daemon=True)
+        plan = self.chaos if self.chaos is not None else chaos_mod.active_plan()
+        chaos_ctx = None if plan is None else (plan, index, attempt)
+        process = ctx.Process(
+            target=_worker_main, args=(task, child, obs_config, chaos_ctx), daemon=True
+        )
         try:
             process.start()
         except (OSError, PermissionError, ValueError) as exc:
@@ -446,16 +638,24 @@ class ParallelCampaignExecutor:
         ctx = self._context()
         obs_config = obs.worker_config()
         attempts = {index: 0 for index in pending_indexes}
-        pending: deque[int] = deque(pending_indexes)
+        # pending entries are (index, not-before time): retries with backoff
+        # re-enter the queue with a future ready time and wait their turn
+        pending: deque[tuple[int, float]] = deque((index, 0.0) for index in pending_indexes)
         running: dict[int, _Running] = {}
         try:
             while pending or running:
-                while pending and len(running) < self.workers:
-                    index = pending.popleft()
+                now = clock_s()
+                for _ in range(len(pending)):
+                    if len(running) >= self.workers:
+                        break
+                    index, ready = pending.popleft()
+                    if ready > now:
+                        pending.append((index, ready))  # not due yet; rotate
+                        continue
                     attempts[index] += 1
-                    running[index] = self._spawn(ctx, tasks[index], obs_config)
+                    running[index] = self._spawn(ctx, tasks[index], obs_config, index, attempts[index])
                 progressed = self._poll(tasks, results, keys, attempts, pending, running)
-                if not progressed and running:
+                if not progressed and (running or pending):
                     time.sleep(0.005)
         finally:
             for entry in running.values():
@@ -479,27 +679,48 @@ class ParallelCampaignExecutor:
                 self._reap(entry)
                 del running[index]
                 progressed = True
-                if status == "ok":
-                    results[index] = payload
-                    # journal from the driver: a later worker SIGKILL can
-                    # never take this completed task down with it
-                    self._record(keys[index], payload)
-                    self._absorb(tasks[index], index, payload, report)
+                if status == "ok" and chaos_mod.should_fire(
+                    "pipe.drop", key=(index, attempts[index])
+                ):
+                    # the result evaporated in transit; indistinguishable
+                    # from a crash at the driver, so it retries as one
+                    self.stats.pipe_drops += 1
+                    self.stats.crashes += 1
+                    self._retry_or_fail(
+                        tasks, keys, attempts, pending, index,
+                        "result message dropped in transit", cause="chaos",
+                    )
+                elif status == "ok":
+                    self._deliver(tasks, results, keys, index, payload, report)
+                    if chaos_mod.should_fire("pipe.duplicate", key=(index, attempts[index])):
+                        # re-deliver the same message: the completed-slot
+                        # guard must drop it without double-counting
+                        self._deliver(tasks, results, keys, index, payload, report)
                 elif status == "error":
-                    raise CampaignExecutionError(
-                        f"campaign {tasks[index].spec!r} failed in worker: {payload!r}"
-                    ) from payload
+                    if self.on_failure == "degrade":
+                        # deterministic failure: retrying cannot help
+                        self._quarantine(
+                            index, keys[index], f"failed in worker: {payload!r}",
+                            attempts[index], "error",
+                        )
+                    else:
+                        raise CampaignExecutionError(
+                            f"campaign {tasks[index].spec!r} failed in worker: {payload!r}"
+                        ) from payload
                 else:
                     self.stats.crashes += 1
-                    self._retry_or_raise(tasks, attempts, pending, index, "crashed mid-result")
+                    self._retry_or_fail(
+                        tasks, keys, attempts, pending, index, "crashed mid-result", cause="crash"
+                    )
             elif not entry.process.is_alive():
                 exitcode = entry.process.exitcode
                 self._reap(entry)
                 del running[index]
                 progressed = True
                 self.stats.crashes += 1
-                self._retry_or_raise(
-                    tasks, attempts, pending, index, f"worker died (exit code {exitcode})"
+                self._retry_or_fail(
+                    tasks, keys, attempts, pending, index,
+                    f"worker died (exit code {exitcode})", cause="crash",
                 )
             elif entry.deadline is not None and clock_s() > entry.deadline:
                 entry.process.terminate()
@@ -507,12 +728,32 @@ class ParallelCampaignExecutor:
                 del running[index]
                 progressed = True
                 self.stats.timeouts += 1
-                self._retry_or_raise(
-                    tasks, attempts, pending, index, f"timed out after {self.timeout_s:g}s"
+                self._retry_or_fail(
+                    tasks, keys, attempts, pending, index,
+                    f"timed out after {self.timeout_s:g}s", cause="timeout",
                 )
             else:
                 self._maybe_beat(index, entry, attempts[index])
         return progressed
+
+    def _deliver(self, tasks, results, keys, index: int, payload, report) -> None:
+        """Accept one completed result — exactly once.
+
+        A duplicated result-pipe message (chaos, or a future distributed
+        transport that redelivers) lands here for an already-filled slot;
+        it is dropped before journaling or metrics so nothing
+        double-counts. The journal's own ``record`` is idempotent too —
+        defence in depth.
+        """
+        if results[index] is not None:
+            self.stats.pipe_duplicates += 1
+            _LOGGER.warning("duplicate result for task %d dropped (already delivered)", index)
+            return
+        results[index] = payload
+        # journal from the driver: a later worker SIGKILL can
+        # never take this completed task down with it
+        self._record(keys[index], payload)
+        self._absorb(tasks[index], index, payload, report)
 
     def _absorb(self, task: CampaignTask, index: int, payload, report) -> None:
         """Reduce one worker result's observations into the driver.
@@ -558,18 +799,55 @@ class ParallelCampaignExecutor:
         entry.process.join()
         entry.connection.close()
 
-    def _retry_or_raise(self, tasks, attempts, pending, index: int, reason: str) -> None:
+    def _retry_or_fail(
+        self, tasks, keys, attempts, pending, index: int, reason: str, cause: str
+    ) -> None:
+        """Reschedule a failed attempt with backoff, or give up on a poison task.
+
+        Giving up means :class:`CampaignExecutionError` under
+        ``on_failure="abort"`` and quarantine under ``"degrade"``.
+        """
         if attempts[index] >= self.max_attempts:
-            raise CampaignExecutionError(
-                f"campaign {tasks[index].spec!r} {reason}; "
-                f"gave up after {attempts[index]} attempt(s)"
-            )
-        self.stats.retries += 1
+            full_reason = f"{reason}; gave up after {attempts[index]} attempt(s)"
+            if self.on_failure == "degrade":
+                self._quarantine(index, keys[index], full_reason, attempts[index], cause)
+                return
+            raise CampaignExecutionError(f"campaign {tasks[index].spec!r} {full_reason}")
+        self.stats.count_retry(cause)
+        delay = self._backoff_delay(index, attempts[index])
         _LOGGER.warning(
-            "campaign task %d %s; retrying (attempt %d/%d)",
+            "campaign task %d %s; retrying (attempt %d/%d%s)",
             index, reason, attempts[index] + 1, self.max_attempts,
+            f", backoff {delay:.3f}s" if delay else "",
         )
-        pending.append(index)
+        pending.append((index, clock_s() + delay))
+
+    def _backoff_delay(self, index: int, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter in [0.5, 1.5).
+
+        The jitter is a pure hash of ``(task index, attempt)`` — no RNG
+        stream is consumed (bit-identity), yet retried tasks de-sync
+        instead of thundering back onto the pool in lockstep.
+        """
+        if self.backoff_s <= 0:
+            return 0.0
+        jitter = 0.5 + chaos_mod.chaos_uniform(0, "retry.backoff", (index, attempt))
+        return self.backoff_s * (2.0 ** (attempt - 1)) * jitter
+
+    def _quarantine(self, index: int, key, reason: str, attempts: int, cause: str) -> None:
+        """Record one poison task into ``failed_tasks`` and keep going.
+
+        The result slot stays ``None``; ``stats.accounting()`` names the
+        task explicitly, so a degraded result can never silently shrink
+        the task space.
+        """
+        failure = FailedTask(index=index, key=key, reason=reason, attempts=attempts, cause=cause)
+        self.stats.failed_tasks.append(failure)
+        _LOGGER.error("campaign task %d quarantined (%s): %s", index, cause, reason)
+        obs.publish("executor.task_failed", task=index, cause=cause, attempts=attempts)
+        registry = obs.metrics()
+        if registry is not None:
+            registry.inc("executor.task_failed")
 
 
 class _PoolUnavailable(RuntimeError):

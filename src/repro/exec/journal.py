@@ -18,13 +18,26 @@ Durability discipline:
 
 * every record is flushed and ``fsync``'d before the executor moves on —
   a SIGKILL loses at most the in-flight task, never a completed one;
-* each line embeds a content checksum; a torn or corrupt trailing line
-  (the crash signature of an append-only file) is detected and dropped
-  rather than poisoning the resume;
+* each line embeds both a SHA-256 content checksum and a CRC-32; a torn
+  trailing line (the crash signature of an append-only file) is recovered
+  from, and a corrupt record *anywhere* in the file is quarantined into a
+  ``<journal>.quarantine`` sidecar while every later record still replays
+  — one bad line never costs more than its own task;
+* replay is **self-healing**: when torn or corrupt lines are found, the
+  journal is atomically rewritten with only the verified records, so
+  subsequent appends land on a clean line boundary instead of gluing onto
+  torn garbage;
+* a failed append (full disk, failing fsync) rolls the file back to its
+  pre-append length and raises :class:`JournalWriteError` — the journal
+  never keeps a record it cannot prove durable;
 * the header carries an optional campaign *fingerprint*; reopening a
   journal under a different fingerprint (changed spec grid, seed, or
   budget) raises :class:`JournalMismatchError` instead of silently mixing
   incompatible results.
+
+Chaos sites (:mod:`repro.exec.chaos`): ``journal.fsync``, ``disk.full``,
+``journal.torn_tail``, and ``journal.corrupt_tail`` perturb exactly the
+failure modes above; they compile to a ``None`` check when chaos is off.
 """
 
 from __future__ import annotations
@@ -34,9 +47,11 @@ import enum
 import hashlib
 import json
 import os
+import zlib
 from typing import Any, Iterable, Mapping
 
 import repro.obs as obs
+from repro.exec import chaos as chaos_mod
 from repro.core.campaign import CampaignResult
 from repro.exec.specs import CampaignSpec
 from repro.utils.logging import get_logger
@@ -46,6 +61,7 @@ from repro.faults.targets import TargetSpec
 __all__ = [
     "JournalError",
     "JournalMismatchError",
+    "JournalWriteError",
     "CampaignJournal",
     "spec_fingerprint",
     "target_fingerprint",
@@ -68,6 +84,15 @@ class JournalError(RuntimeError):
 
 class JournalMismatchError(JournalError):
     """The journal belongs to a different campaign than the one resuming."""
+
+
+class JournalWriteError(JournalError):
+    """An append could not be made durable; the file was rolled back.
+
+    Raised on write/flush/fsync failure (full disk, dying device). The
+    journal file is truncated back to its pre-append length first, so a
+    caught write error never leaves a torn record behind.
+    """
 
 
 # ---------------------------------------------------------------------- #
@@ -206,6 +231,12 @@ class CampaignJournal:
         self.fingerprint = fingerprint
         self._entries: dict[str, dict] = {}
         self._dropped_lines = 0
+        #: raw quarantined lines from the last replay: (line number, reason)
+        self._quarantined: list[tuple[int, str]] = []
+        #: appends that failed durably and were rolled back this session
+        self.write_errors = 0
+        #: chaos tore the last append mid-line; the next append repairs the boundary
+        self._tail_torn = False
         #: successful lookups this session (tasks served without re-running)
         self.hits = 0
         if os.path.exists(self.path):
@@ -263,33 +294,81 @@ class CampaignJournal:
             )
         if self.fingerprint is None:
             self.fingerprint = recorded
+        good_lines: list[str] = [lines[0]]
+        bad: list[tuple[int, str, str]] = []  # (line number, reason, raw text)
+        last = len(lines)
         for number, line in enumerate(lines[1:], start=2):
             if not line.strip():
                 continue
             try:
                 entry = json.loads(line)
             except json.JSONDecodeError:
-                # The crash signature of an append-only file: a torn final
-                # line. Drop it (and anything after it) — the task simply
-                # re-runs on resume.
-                self._dropped_lines += len(lines) - number + 1
-                _LOGGER.warning(
-                    "%s: dropping torn journal line %d (and %d following); "
-                    "the affected task(s) will re-run",
-                    self.path, number, len(lines) - number,
-                )
-                break
+                # An unparsable *final* line is the crash signature of a torn
+                # append; anywhere else it is silent corruption. Either way,
+                # quarantine exactly that line and keep replaying — one bad
+                # record never costs more than its own task.
+                reason = "torn tail" if number == last else "unparsable record"
+                bad.append((number, reason, line))
+                continue
             if (
                 not isinstance(entry, dict)
                 or "key" not in entry
                 or entry.get("sha") != _entry_checksum(entry.get("outcome"))
+                or ("crc" in entry and entry["crc"] != _entry_crc(entry.get("outcome")))
             ):
-                self._dropped_lines += 1
-                _LOGGER.warning(
-                    "%s: dropping corrupt journal entry at line %d", self.path, number
-                )
+                bad.append((number, "checksum mismatch", line))
                 continue
             self._entries[entry["key"]] = entry["outcome"]
+            good_lines.append(line)
+        if bad:
+            self._dropped_lines = len(bad)
+            self._quarantined = [(number, reason) for number, reason, _ in bad]
+            for number, reason, _ in bad:
+                _LOGGER.warning(
+                    "%s: quarantining journal line %d (%s); the affected task will re-run",
+                    self.path, number, reason,
+                )
+            self._quarantine(bad)
+            self._heal(good_lines)
+
+    def _quarantine(self, bad: list[tuple[int, str, str]]) -> None:
+        """Append the rejected raw lines to the ``.quarantine`` sidecar.
+
+        Forensics only — best effort; a failing sidecar write must never
+        block recovery of the journal itself.
+        """
+        registry = obs.metrics()
+        if registry is not None:
+            registry.inc("journal.quarantined", len(bad))
+        try:
+            with open(self.quarantine_path, "a", encoding="utf-8") as handle:
+                for number, reason, raw in bad:
+                    handle.write(
+                        json.dumps(
+                            {"journal": self.path, "line": number, "reason": reason, "raw": raw}
+                        )
+                        + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            _LOGGER.warning("%s: could not write quarantine sidecar: %s", self.path, exc)
+
+    def _heal(self, good_lines: list[str]) -> None:
+        """Atomically rewrite the journal with only the verified records.
+
+        After a torn append the file ends mid-line; appending to it would
+        glue the next record onto the torn garbage and lose both. Healing
+        restores the clean-line-boundary invariant every append relies on.
+        """
+        from repro.utils.persist import atomic_write_bytes
+
+        with obs.span("journal.heal", category="journal", records=len(good_lines) - 1):
+            atomic_write_bytes(self.path, ("\n".join(good_lines) + "\n").encode("utf-8"))
+        _LOGGER.info(
+            "%s: healed (%d verified record(s) kept, %d quarantined to %s)",
+            self.path, len(good_lines) - 1, len(self._quarantined), self.quarantine_path,
+        )
 
     # ------------------------------------------------------------------ #
     # reads / writes
@@ -306,6 +385,16 @@ class CampaignJournal:
         """Torn/corrupt lines dropped during replay (crash forensics)."""
         return self._dropped_lines
 
+    @property
+    def quarantine_path(self) -> str:
+        """Sidecar file receiving the raw bytes of rejected journal lines."""
+        return self.path + ".quarantine"
+
+    @property
+    def quarantined(self) -> list[tuple[int, str]]:
+        """(line number, reason) for every line quarantined during replay."""
+        return list(self._quarantined)
+
     def keys(self) -> list[str]:
         return list(self._entries)
 
@@ -318,17 +407,86 @@ class CampaignJournal:
         return decode_outcome(payload)
 
     def record(self, key: str, outcome) -> None:
-        """Append one completed task; durable (fsync'd) before returning."""
+        """Append one completed task; durable (fsync'd) before returning.
+
+        On any write/flush/fsync failure the file is truncated back to its
+        pre-append length and :class:`JournalWriteError` is raised — a
+        failed append leaves no torn record behind, and the in-memory
+        entry is not kept (the record was never durable).
+        """
         if key in self._entries:
             return  # idempotent: re-recording a journaled task is a no-op
         payload = sanitize_nonfinite(encode_outcome(outcome))
-        entry = {"key": key, "sha": _entry_checksum(payload), "outcome": payload}
+        entry = {
+            "key": key,
+            "sha": _entry_checksum(payload),
+            "crc": _entry_crc(payload),
+            "outcome": payload,
+        }
+        self._handle.flush()
+        offset = os.fstat(self._handle.fileno()).st_size
         with obs.span("journal.record", category="journal", key=key):
-            self._handle.write(json.dumps(entry, allow_nan=False) + "\n")
-            self._handle.flush()
-            with obs.span("journal.fsync", category="journal"):
-                os.fsync(self._handle.fileno())
+            try:
+                if chaos_mod.should_fire("disk.full"):
+                    raise chaos_mod.disk_full_error(self.path)
+                if self._tail_torn:
+                    # restore the line boundary a chaos tear destroyed, so
+                    # this append never glues onto the torn fragment
+                    self._handle.write("\n")
+                    self._tail_torn = False
+                self._handle.write(json.dumps(entry, allow_nan=False) + "\n")
+                self._handle.flush()
+                with obs.span("journal.fsync", category="journal"):
+                    if chaos_mod.should_fire("journal.fsync"):
+                        raise OSError("fsync failed (chaos)")
+                    os.fsync(self._handle.fileno())
+            except OSError as exc:
+                self._rollback(offset)
+                self.write_errors += 1
+                raise JournalWriteError(
+                    f"{self.path}: could not durably append record for {key!r} "
+                    f"({exc}); file rolled back to its last durable record"
+                ) from exc
+        self._tamper_tail(offset)
         self._entries[key] = payload
+
+    def _rollback(self, offset: int) -> None:
+        """Truncate the file back to ``offset`` (pre-append state), best effort."""
+        try:
+            os.ftruncate(self._handle.fileno(), offset)
+        except OSError as exc:  # the device is truly gone; replay will heal
+            _LOGGER.warning("%s: rollback after failed append also failed: %s", self.path, exc)
+
+    def _tamper_tail(self, offset: int) -> None:
+        """Chaos-only: tear or bit-corrupt the record just appended.
+
+        Simulates a crash mid-append (``journal.torn_tail``: the line loses
+        its tail on disk) or silent media corruption
+        (``journal.corrupt_tail``: a few bytes flip, length preserved). The
+        in-memory entry survives — only *durability* was damaged, exactly
+        like the real failure — so the damage is observable on replay.
+        """
+        if chaos_mod.active() is None:
+            return
+        fd = self._handle.fileno()
+        end = os.fstat(fd).st_size
+        length = end - offset
+        if length < 4:
+            return
+        if chaos_mod.should_fire("journal.torn_tail"):
+            cut = 1 + int(
+                chaos_mod.chaos_uniform(chaos_mod.active().plan.seed, "torn.cut", offset)
+                * (length - 2)
+            )
+            os.ftruncate(fd, offset + cut)
+            self._tail_torn = True
+            _LOGGER.info("%s: chaos tore the journal tail record", self.path)
+        elif chaos_mod.should_fire("journal.corrupt_tail"):
+            # ASCII garbage: stays valid UTF-8, and lands either as invalid
+            # JSON (unparsable record) or as string content whose checksum
+            # no longer matches — both quarantine paths get exercised.
+            os.pwrite(fd, b"####", offset + max(1, length // 2))
+            _LOGGER.info("%s: chaos corrupted the journal tail record", self.path)
 
     def close(self) -> None:
         if not self._handle.closed:
@@ -347,3 +505,15 @@ class CampaignJournal:
 def _entry_checksum(outcome_payload) -> str:
     """Short content checksum guarding each journal line against corruption."""
     return payload_checksum(outcome_payload)[:16]
+
+
+def _entry_crc(outcome_payload) -> int:
+    """CRC-32 of the canonical outcome serialisation (cheap bit-rot guard).
+
+    Complements the SHA prefix: a different algorithm over the same bytes,
+    so a corruption that somehow survives one check still trips the other.
+    Entries written before CRCs existed (no ``crc`` key) replay unchecked.
+    """
+    from repro.utils.persist import canonical_dumps
+
+    return zlib.crc32(canonical_dumps(outcome_payload).encode("utf-8"))

@@ -27,6 +27,7 @@ import hashlib
 import json
 import math
 import os
+import sys
 import tempfile
 from typing import Any, Mapping
 
@@ -115,6 +116,26 @@ def payload_checksum(payload: Any, default=None) -> str:
 # ---------------------------------------------------------------------- #
 
 
+def _chaos():
+    """The chaos module, iff something already imported it (else ``None``).
+
+    ``repro.utils`` sits below ``repro.exec`` in the import graph, so this
+    module must not import :mod:`repro.exec.chaos` eagerly. An injector
+    can only be installed by code that imported the module, so looking it
+    up in ``sys.modules`` is both cycle-free and exactly as observable:
+    when chaos was never imported, no plan can be active.
+    """
+    return sys.modules.get("repro.exec.chaos")
+
+
+def _chaos_fire(site: str, path: str) -> bool:
+    """Whether chaos site ``site`` fires for this write (False when off)."""
+    chaos = _chaos()
+    if chaos is None or chaos.active() is None:
+        return False
+    return chaos.should_fire(site, key=os.path.basename(path))
+
+
 def _fsync_directory(directory: str) -> None:
     """Flush the directory entry so the rename itself survives a crash."""
     try:
@@ -130,7 +151,13 @@ def _fsync_directory(directory: str) -> None:
 
 
 def atomic_write_bytes(path: str, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (tmp file + fsync + replace)."""
+    """Write ``data`` to ``path`` atomically (tmp file + fsync + replace).
+
+    Chaos sites (:mod:`repro.exec.chaos`): ``disk.full`` fires at the
+    payload write, ``persist.fsync`` at the fsync, ``persist.replace`` at
+    the rename — each exercising the tmp-file cleanup path at a different
+    stage. All are a no-op unless a chaos plan is installed.
+    """
     path = os.path.abspath(path)
     directory = os.path.dirname(path)
     os.makedirs(directory, exist_ok=True)
@@ -139,9 +166,15 @@ def atomic_write_bytes(path: str, data: bytes) -> None:
     )
     try:
         with os.fdopen(fd, "wb") as handle:
+            if _chaos_fire("disk.full", path):
+                raise _chaos().disk_full_error(path)
             handle.write(data)
             handle.flush()
+            if _chaos_fire("persist.fsync", path):
+                raise OSError(5, "fsync failed (chaos)", path)  # EIO
             os.fsync(handle.fileno())
+        if _chaos_fire("persist.replace", path):
+            raise OSError(5, "rename failed (chaos)", path)  # EIO
         os.replace(tmp_path, path)
     except BaseException:
         if os.path.exists(tmp_path):

@@ -247,6 +247,122 @@ class TestDurableCampaigns:
         assert error_column(first) == error_column(second)
 
 
+class TestJournalPathValidation:
+    """Satellite: bad --journal paths fail fast, not as OSError mid-campaign."""
+
+    def _argv(self, checkpoint, journal):
+        return [
+            "campaign", checkpoint, "--workbench", "mlp-moons",
+            "--p", "1e-3", "--samples", "20", "--journal", journal,
+        ]
+
+    def test_nonexistent_parent_directory_fails_fast(self, golden_checkpoint, tmp_path):
+        journal = str(tmp_path / "no" / "such" / "dir" / "j.jsonl")
+        with pytest.raises(SystemExit, match="parent directory .* does not exist"):
+            main(self._argv(golden_checkpoint, journal))
+
+    def test_readonly_journal_fails_fast(self, golden_checkpoint, tmp_path):
+        journal = tmp_path / "frozen.jsonl"
+        journal.write_text('{"journal": "bdlfi-campaign-journal", "version": 1}\n')
+        journal.chmod(0o444)
+        if os.access(str(journal), os.W_OK):  # running as root: not enforceable
+            pytest.skip("file permissions not enforced for this user")
+        try:
+            with pytest.raises(SystemExit, match="read-only"):
+                main(self._argv(golden_checkpoint, str(journal)) + ["--resume"])
+        finally:
+            journal.chmod(0o644)
+
+    def test_readonly_directory_fails_fast(self, golden_checkpoint, tmp_path):
+        locked = tmp_path / "locked"
+        locked.mkdir()
+        locked.chmod(0o555)
+        if os.access(str(locked), os.W_OK):  # running as root: not enforceable
+            locked.chmod(0o755)
+            pytest.skip("directory permissions not enforced for this user")
+        try:
+            with pytest.raises(SystemExit, match="not writable"):
+                main(self._argv(golden_checkpoint, str(locked / "j.jsonl")))
+        finally:
+            locked.chmod(0o755)
+
+    def test_directory_as_journal_fails_fast(self, golden_checkpoint, tmp_path):
+        with pytest.raises(SystemExit, match="is a directory"):
+            main(self._argv(golden_checkpoint, str(tmp_path)))
+
+
+class TestResilienceFlags:
+    """--chaos / --on-failure / --max-attempts / --backoff plumbing."""
+
+    def test_chaos_flags_parse(self, golden_checkpoint):
+        args = build_parser().parse_args(
+            [
+                "campaign", golden_checkpoint, "--workbench", "mlp-moons",
+                "--chaos", "worker.sigkill=0.3,journal.torn_tail=0.5:2",
+                "--chaos-seed", "7", "--on-failure", "degrade",
+                "--max-attempts", "5", "--backoff", "0.5",
+            ]
+        )
+        assert args.chaos == "worker.sigkill=0.3,journal.torn_tail=0.5:2"
+        assert args.chaos_seed == 7
+        assert args.on_failure == "degrade"
+        assert args.max_attempts == 5
+        assert args.backoff == 0.5
+
+    def test_bad_chaos_spec_rejected(self, golden_checkpoint):
+        with pytest.raises(SystemExit, match="--chaos"):
+            main(
+                [
+                    "campaign", golden_checkpoint, "--workbench", "mlp-moons",
+                    "--samples", "20", "--chaos", "worker.meteor=1.0",
+                ]
+            )
+
+    def test_bad_max_attempts_rejected(self, golden_checkpoint):
+        with pytest.raises(SystemExit, match="--max-attempts"):
+            main(
+                [
+                    "campaign", golden_checkpoint, "--workbench", "mlp-moons",
+                    "--samples", "20", "--chaos", "pipe.drop=0.1", "--max-attempts", "0",
+                ]
+            )
+
+    def test_chaos_campaign_matches_clean_output(self, golden_checkpoint, capsys):
+        """A chaos run that completes prints the same numbers as a clean one."""
+        argv = [
+            "campaign", golden_checkpoint, "--workbench", "mlp-moons",
+            "--p", "1e-3", "--samples", "30",
+        ]
+        assert main(argv) == 0
+        clean = capsys.readouterr().out
+        assert main(
+            argv + ["--workers", "2", "--chaos", "pipe.drop=1.0:1", "--max-attempts", "3"]
+        ) == 0
+        chaotic = capsys.readouterr().out
+
+        def error_cells(text):
+            # numeric table rows minus the wall-clock columns (duration,
+            # evals/s) — bit-identity is about the math, not the clock
+            rows = [line.split() for line in text.splitlines()
+                    if line.strip() and line[0].isdigit()]
+            return [row[:8] for row in rows]
+
+        assert error_cells(clean) == error_cells(chaotic)
+        assert "retries" in chaotic  # the drop really happened and was retried
+
+    def test_degraded_sweep_reports_accounting(self, golden_checkpoint, capsys):
+        argv = [
+            "sweep", golden_checkpoint, "--workbench", "mlp-moons",
+            "--points", "2", "--samples", "12", "--workers", "2",
+            "--chaos", "worker.sigkill=1.0", "--on-failure", "degrade",
+            "--max-attempts", "2",
+        ]
+        assert main(argv) == 1  # nothing completed: non-zero exit
+        out = capsys.readouterr().out
+        assert "DEGRADED result: 0/2 points completed" in out
+        assert "no sweep points completed" in out
+
+
 class TestObservabilityFlags:
     def test_campaign_writes_trace_metrics_and_progress(
         self, golden_checkpoint, tmp_path, capsys

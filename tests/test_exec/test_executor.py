@@ -253,3 +253,121 @@ class TestFaultTolerance:
         with pytest.raises(CampaignExecutionError, match="failed in worker"):
             executor.run([ForwardSpec(p=1e-2, samples=8)])
         assert executor.stats.retries == 0
+
+
+class TestRetryAccounting:
+    """Satellite: retries broken out by cause, with exact metrics parity."""
+
+    def test_crash_retries_attributed_to_cause(self, trained_mlp, moons_eval, tmp_path):
+        eval_x, eval_y = moons_eval
+        crashy = InjectorRecipe.from_model(
+            trained_mlp, eval_x, eval_y, seed=7,
+            model_builder=functools.partial(_crash_once_builder, str(tmp_path / "m")),
+        )
+        executor = ParallelCampaignExecutor(crashy, workers=2, max_attempts=3)
+        executor.run([ForwardSpec(p=1e-2, samples=16)])
+        stats = executor.stats
+        assert stats.retries_by_cause["crash"] >= 1
+        assert stats.retries_by_cause["timeout"] == 0
+        assert stats.retries_by_cause["chaos"] == 0
+        assert stats.retries == sum(stats.retries_by_cause.values())
+        assert "retries" in stats.summary() and "crash" in stats.summary()
+
+    def test_timeout_retries_attributed_to_cause(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        sleepy = InjectorRecipe.from_model(
+            trained_mlp, eval_x, eval_y, seed=7,
+            model_builder=functools.partial(_sleepy_builder, 30.0),
+        )
+        executor = ParallelCampaignExecutor(sleepy, workers=2, timeout_s=0.25, max_attempts=2)
+        with pytest.raises(CampaignExecutionError):
+            executor.run([ForwardSpec(p=1e-2, samples=8)])
+        assert executor.stats.retries_by_cause["timeout"] == 1
+        assert executor.stats.retries == 1
+
+    def test_metrics_match_stats_exactly(self, trained_mlp, moons_eval, tmp_path):
+        import repro.obs as obs
+
+        eval_x, eval_y = moons_eval
+        crashy = InjectorRecipe.from_model(
+            trained_mlp, eval_x, eval_y, seed=7,
+            model_builder=functools.partial(_crash_once_builder, str(tmp_path / "m")),
+        )
+        obs.configure(metrics=True)
+        try:
+            executor = ParallelCampaignExecutor(crashy, workers=2, max_attempts=3)
+            executor.run([ForwardSpec(p=1e-2, samples=16)])
+            counters = obs.metrics().snapshot()["counters"]
+            stats = executor.stats
+            assert counters["executor.retries"] == stats.retries
+            for cause, count in stats.retries_by_cause.items():
+                assert counters.get(f"executor.retries.{cause}", 0) == count
+            assert counters["executor.crashes"] == stats.crashes
+            assert counters.get("executor.failed", 0) == stats.failed == 0
+        finally:
+            obs.reset()
+
+
+class TestDegradedExecution:
+    def test_degrade_quarantines_instead_of_aborting(self, trained_mlp, moons_eval, recipe):
+        eval_x, eval_y = moons_eval
+
+        def always_crash():
+            os._exit(3)
+
+        doomed = InjectorRecipe.from_model(
+            trained_mlp, eval_x, eval_y, seed=7, model_builder=always_crash
+        )
+        good_spec = ForwardSpec(p=1e-2, samples=12)
+        executor = ParallelCampaignExecutor(
+            workers=2, max_attempts=2, on_failure="degrade"
+        )
+        results = executor.execute(
+            [CampaignTask(good_spec, recipe), CampaignTask(good_spec, doomed)]
+        )
+        assert results[0] is not None and results[1] is None
+        accounting = executor.stats.accounting()
+        assert accounting["tasks"] == 2
+        assert accounting["completed"] == 1 and accounting["failed"] == 1
+        (failure,) = accounting["failed_tasks"]
+        assert failure["index"] == 1 and failure["cause"] == "crash"
+        assert failure["attempts"] == 2
+
+    def test_degrade_sequential_deterministic_error(self, trained_mlp, moons_eval):
+        eval_x, eval_y = moons_eval
+        misaligned = InjectorRecipe.from_model(
+            trained_mlp, eval_x, eval_y[:-1], seed=7,
+            model_builder=functools.partial(paper_mlp, rng=0),
+        )
+        executor = ParallelCampaignExecutor(misaligned, workers=1, on_failure="degrade")
+        results = executor.run([ForwardSpec(p=1e-2, samples=8)])
+        assert results == [None]
+        (failure,) = executor.stats.failed_tasks
+        assert failure.cause == "error" and failure.attempts == 1
+
+    def test_degraded_sweep_reports_failed_points(self, trained_mlp, moons_eval):
+        from repro.core import BayesianFaultInjector, ProbabilitySweep
+        from repro.exec import ChaosPlan
+
+        eval_x, eval_y = moons_eval
+        recipe = InjectorRecipe.from_model(
+            trained_mlp, eval_x, eval_y, seed=7,
+            model_builder=functools.partial(paper_mlp, rng=0),
+        )
+        injector = BayesianFaultInjector(trained_mlp, eval_x, eval_y, seed=7)
+        # every worker attempt dies: all points fail, accounting must tile
+        plan = ChaosPlan.from_rates({"worker.sigkill": 1.0}, seed=0)
+        executor = ParallelCampaignExecutor(
+            recipe, workers=2, max_attempts=2, on_failure="degrade", chaos=plan,
+            start_method="fork",
+        )
+        sweep = ProbabilitySweep(
+            injector, p_values=(1e-3, 1e-2), spec=ForwardSpec(p=1e-3, samples=8),
+            executor=executor,
+        ).run()
+        assert sweep.degraded and not sweep.points
+        accounting = sweep.accounting()
+        assert accounting["points"] == 2
+        assert accounting["completed"] == 0 and accounting["failed"] == 2
+        assert [entry["p"] for entry in accounting["failed_points"]] == [1e-3, 1e-2]
+        assert all(entry["cause"] == "crash" for entry in accounting["failed_points"])

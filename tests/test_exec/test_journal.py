@@ -148,6 +148,122 @@ class TestJournalFile:
         assert reopened.dropped_lines == 1
 
 
+class TestSelfHealingJournal:
+    """CRC, quarantine sidecar, atomic heal, and append rollback."""
+
+    def test_corrupt_middle_record_does_not_drop_later_records(self, tmp_path, baseline):
+        """One bad line costs exactly one task — no truncation amplification."""
+        path = str(tmp_path / "j.jsonl")
+        journal = CampaignJournal(path)
+        for index in range(3):
+            journal.record(f"k{index}", baseline.points[index].campaign)
+        journal.close()
+        lines = open(path).read().splitlines()
+        lines[2] = lines[2][:40] + "####" + lines[2][44:]  # corrupt k1 mid-file
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        reopened = CampaignJournal(path)
+        assert "k0" in reopened and "k2" in reopened  # k2 survives the bad k1
+        assert "k1" not in reopened
+        assert reopened.quarantined and reopened.dropped_lines == 1
+
+    def test_quarantine_sidecar_preserves_rejected_lines(self, tmp_path, baseline):
+        path = str(tmp_path / "j.jsonl")
+        journal = CampaignJournal(path)
+        journal.record("k1", baseline.points[0].campaign)
+        journal.close()
+        text = open(path).read()
+        with open(path, "w") as handle:
+            handle.write(text[:-30])  # tear the only record
+        reopened = CampaignJournal(path)
+        assert reopened.quarantined == [(2, "torn tail")]
+        sidecar = open(reopened.quarantine_path).read().splitlines()
+        entry = json.loads(sidecar[0])
+        assert entry["line"] == 2 and entry["reason"] == "torn tail"
+        assert entry["raw"]  # the damaged bytes are kept for forensics
+
+    def test_replay_heals_the_file_in_place(self, tmp_path, baseline):
+        """After one recovery, the journal is clean — damage never compounds."""
+        path = str(tmp_path / "j.jsonl")
+        journal = CampaignJournal(path)
+        journal.record("k1", baseline.points[0].campaign)
+        journal.record("k2", baseline.points[1].campaign)
+        journal.close()
+        text = open(path).read()
+        with open(path, "w") as handle:
+            handle.write(text[:-25])
+        healed = CampaignJournal(path)
+        assert healed.dropped_lines == 1
+        # appending after the heal lands on a clean boundary
+        healed.record("k2", baseline.points[1].campaign)
+        healed.close()
+        final = CampaignJournal(path)
+        assert final.dropped_lines == 0 and "k1" in final and "k2" in final
+
+    def test_crc_guards_entries(self, tmp_path, baseline):
+        path = str(tmp_path / "j.jsonl")
+        journal = CampaignJournal(path)
+        journal.record("k1", baseline.points[0].campaign)
+        journal.close()
+        lines = open(path).read().splitlines()
+        entry = json.loads(lines[1])
+        assert isinstance(entry["crc"], int)
+        entry["crc"] ^= 1  # flip one CRC bit; sha untouched
+        with open(path, "w") as handle:
+            handle.write(lines[0] + "\n" + json.dumps(entry) + "\n")
+        reopened = CampaignJournal(path)
+        assert "k1" not in reopened and reopened.quarantined == [(2, "checksum mismatch")]
+
+    def test_legacy_entries_without_crc_still_replay(self, tmp_path, baseline):
+        path = str(tmp_path / "j.jsonl")
+        journal = CampaignJournal(path)
+        journal.record("k1", baseline.points[0].campaign)
+        journal.close()
+        lines = open(path).read().splitlines()
+        entry = json.loads(lines[1])
+        del entry["crc"]
+        with open(path, "w") as handle:
+            handle.write(lines[0] + "\n" + json.dumps(entry) + "\n")
+        reopened = CampaignJournal(path)
+        assert "k1" in reopened and reopened.dropped_lines == 0
+
+    def test_failed_append_rolls_back_and_raises(self, tmp_path, baseline):
+        from repro.exec import ChaosPlan, chaos_enabled
+        from repro.exec.journal import JournalWriteError
+
+        path = str(tmp_path / "j.jsonl")
+        journal = CampaignJournal(path)
+        journal.record("k1", baseline.points[0].campaign)
+        size_before = os.path.getsize(path)
+        plan = ChaosPlan.from_rates({"journal.fsync": 1.0}, seed=0)
+        with chaos_enabled(plan):
+            with pytest.raises(JournalWriteError, match="rolled back"):
+                journal.record("k2", baseline.points[1].campaign)
+        assert os.path.getsize(path) == size_before  # pre-append state restored
+        assert journal.write_errors == 1 and "k2" not in journal
+        # with chaos gone the same append succeeds on the clean boundary
+        journal.record("k2", baseline.points[1].campaign)
+        journal.close()
+        reopened = CampaignJournal(path)
+        assert "k1" in reopened and "k2" in reopened and reopened.dropped_lines == 0
+
+    def test_chaos_torn_tail_recovers_on_resume(self, tmp_path, baseline):
+        from repro.exec import ChaosPlan, chaos_enabled
+
+        path = str(tmp_path / "j.jsonl")
+        plan = ChaosPlan.from_rates({"journal.torn_tail": 1.0}, seed=0)
+        journal = CampaignJournal(path)
+        with chaos_enabled(plan):
+            journal.record("k1", baseline.points[0].campaign)  # torn on disk
+            journal.record("k2", baseline.points[1].campaign)  # torn on disk too
+        # in-session, the in-memory entries are intact (only durability hurt)
+        assert "k1" in journal and "k2" in journal
+        journal.close()
+        reopened = CampaignJournal(path)
+        assert reopened.dropped_lines >= 1  # the tears are found and quarantined
+        assert len(reopened) + reopened.dropped_lines >= 2  # nothing silently gone
+
+
 class TestKeysAndFingerprints:
     def test_task_key_distinguishes_rng_coordinates(self):
         base = task_key(SPEC, seed=1)
@@ -328,6 +444,58 @@ class TestSigkillResume:
         journal = CampaignJournal.resume(path)
         completed_before_kill = len(journal)
         assert 1 <= completed_before_kill <= len(P_GRID)
+
+        injector = BayesianFaultInjector(model, eval_x, eval_y, seed=SEED)
+        resumed = ProbabilitySweep(
+            injector, p_values=P_GRID, spec=SPEC, journal=journal
+        ).run()
+        assert len(journal) == len(P_GRID)
+        assert_bit_identical(baseline, resumed)
+
+    def test_sigkilled_sweep_with_torn_record_resumes_bit_identically(
+        self, tmp_path, setup, baseline
+    ):
+        """SIGKILL mid-sweep *and* tear the journal mid-record: the torn
+        tail must be quarantined (not trusted, not fatal) and the resumed
+        sweep must still match an uninterrupted run bit-for-bit."""
+        model, eval_x, eval_y = setup
+        path = str(tmp_path / "killed-torn.jsonl")
+        script = _CHILD_SCRIPT.format(seed=SEED, p_grid=P_GRID)
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+        child = subprocess.Popen(
+            [sys.executable, "-c", script, path],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if os.path.exists(path) and len(open(path).read().splitlines()) >= 2:
+                    break
+                if child.poll() is not None:
+                    pytest.fail(f"child exited early:\n{child.stdout.read().decode()}")
+                time.sleep(0.02)
+            else:
+                pytest.fail("child never journaled a campaign")
+            os.kill(child.pid, signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+            child.stdout.close()
+        assert child.returncode == -signal.SIGKILL
+
+        # simulate the torn write the kernel can leave behind: the last
+        # durable record loses its tail mid-line
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 40)
+
+        journal = CampaignJournal.resume(path)
+        assert journal.quarantined, "the torn record must be quarantined, not trusted"
+        assert journal.dropped_lines == 1
+        assert os.path.exists(journal.quarantine_path)
 
         injector = BayesianFaultInjector(model, eval_x, eval_y, seed=SEED)
         resumed = ProbabilitySweep(

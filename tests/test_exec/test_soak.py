@@ -1,0 +1,38 @@
+"""Kill-and-recover soak harness: the chaos acceptance contract, in-suite.
+
+CI's ``chaos-smoke`` job runs ``python -m repro.exec.soak`` across several
+seeds; this test pins one seed into the regular suite so the contract
+(completion ⇒ bit-identity, degradation ⇒ exact accounting) cannot rot
+between CI configurations.
+"""
+
+import json
+import os
+
+from repro.exec import chaos as chaos_mod
+from repro.exec.soak import main, run_soak
+
+
+class TestSoak:
+    def test_one_full_soak_upholds_the_contract(self, tmp_path):
+        report = run_soak(2019, str(tmp_path), workers=2)
+        # run_soak raises SoakFailure on any violation; reaching here means
+        # the contract held — sanity-check the report shape on top
+        assert report["seed"] == 2019
+        assert report["completed"] + report["failed"] == report["tasks"]
+        assert report["rounds"], "at least one chaos round must have run"
+        first = report["rounds"][0]
+        assert first["chaos"], "round 0 must actually arm chaos sites"
+        assert sum(first["fired"].values()) > 0, "armed chaos must fire"
+        # chaos never leaks out of the harness
+        assert chaos_mod.active() is None
+
+    def test_cli_writes_report_and_artifacts(self, tmp_path):
+        artifacts = str(tmp_path / "artifacts")
+        exit_code = main(["--seeds", "1", "--seed-base", "2020", "--artifacts", artifacts])
+        assert exit_code == 0
+        with open(os.path.join(artifacts, "soak-report.json")) as handle:
+            payload = json.load(handle)
+        assert payload["failures"] == []
+        assert len(payload["reports"]) == 1
+        assert payload["reports"][0]["seed"] == 2020

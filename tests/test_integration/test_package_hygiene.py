@@ -1,0 +1,57 @@
+"""Package hygiene: no orphaned directories masquerading as packages.
+
+A directory under ``src/repro`` (or ``tests``) containing only
+``__pycache__`` residue — e.g. left behind by a deleted module whose
+``.pyc`` files survived — is silently importable and shadows honest
+``ModuleNotFoundError``s. These guards fail the suite the moment such an
+orphan (re)appears.
+"""
+
+import os
+
+import repro
+
+SRC_ROOT = os.path.dirname(os.path.abspath(repro.__file__))
+TESTS_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+IGNORED = {"__pycache__", ".pytest_cache", ".hypothesis"}
+
+
+def _package_dirs(root: str) -> list[str]:
+    found = []
+    for dirpath, dirnames, _ in os.walk(root):
+        dirnames[:] = [name for name in dirnames if name not in IGNORED]
+        found.extend(os.path.join(dirpath, name) for name in dirnames)
+    return found
+
+
+def _has_python_sources(directory: str) -> bool:
+    return any(entry.endswith(".py") for entry in os.listdir(directory))
+
+
+class TestNoOrphanPackages:
+    def test_every_repro_package_dir_has_sources(self):
+        orphans = [
+            path for path in _package_dirs(SRC_ROOT) if not _has_python_sources(path)
+        ]
+        assert not orphans, (
+            f"directories under src/repro with no .py sources (stale leftovers "
+            f"from a deleted module?): {orphans} — delete them; __pycache__ "
+            f"residue makes them importable"
+        )
+
+    def test_every_test_dir_has_sources(self):
+        orphans = [
+            path for path in _package_dirs(TESTS_ROOT) if not _has_python_sources(path)
+        ]
+        assert not orphans, f"test directories with no .py sources: {orphans}"
+
+    def test_deleted_service_packages_stay_deleted(self):
+        # the PR that added this guard removed pycache-only orphans at
+        # these exact paths; they must not resurface without real sources
+        assert not os.path.isdir(os.path.join(SRC_ROOT, "service")) or _has_python_sources(
+            os.path.join(SRC_ROOT, "service")
+        )
+        assert not os.path.isdir(os.path.join(TESTS_ROOT, "test_service")) or (
+            _has_python_sources(os.path.join(TESTS_ROOT, "test_service"))
+        )

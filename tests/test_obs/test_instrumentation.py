@@ -248,6 +248,12 @@ class TestStatsSummary:
         quiet = ExecutionStats(tasks=3, duration_s=0.5, parallel=False)
         assert quiet.summary() == "3 task(s) in 0.50s (sequential)"
         noisy = ExecutionStats(
-            tasks=4, duration_s=0.15, parallel=True, retries=1, timeouts=2
+            tasks=4,
+            duration_s=0.15,
+            parallel=True,
+            retries_by_cause={"crash": 1},
+            timeouts=2,
         )
-        assert noisy.summary() == "4 task(s) in 0.15s (parallel); retries 1, timeouts 2"
+        assert noisy.summary() == (
+            "4 task(s) in 0.15s (parallel); retries 1 (crash 1), timeouts 2"
+        )
