@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Mapping
 
 from repro.obs.profile import clock_s, wall_display
+from repro.obs.schema import SCHEMA_VERSION, artifact_version, artifact_stamp
 
 __all__ = [
     "BENCH_SCHEMA",
@@ -124,6 +125,7 @@ def make_record(
     """
     return {
         "schema": BENCH_SCHEMA,
+        **artifact_stamp(),
         "group": group,
         "quick": quick,
         "seed": seed,
@@ -145,6 +147,12 @@ def validate_bench_record(record: object) -> dict:
     schema = record.get("schema")
     if schema != BENCH_SCHEMA:
         raise ValueError(f"unsupported bench schema {schema!r} (expected {BENCH_SCHEMA!r})")
+    # artifact stamp: records written before the stamp existed load as v0
+    if artifact_version(record) > SCHEMA_VERSION:
+        raise ValueError(
+            f"bench record schema_version {record.get('schema_version')!r} is newer than "
+            f"supported version {SCHEMA_VERSION}"
+        )
     for key, kind in (("group", str), ("quick", bool), ("seed", int), ("cases", dict)):
         if not isinstance(record.get(key), kind):
             raise ValueError(f"bench record field {key!r} must be {kind.__name__}")

@@ -34,6 +34,14 @@ reduced campaign metrics digest, and a live progress stream (MCMC mixing
 diagnostics, sweep points, worker heartbeats) to stderr or a JSONL file.
 Instrumented runs are bit-identical to bare ones.
 
+``--serve [HOST:]PORT`` adds a live HTTP telemetry surface while the run
+executes — ``/status`` (JSON progress + ETA), ``/metrics`` (OpenMetrics
+for Prometheus), ``/events`` (SSE event stream), ``/healthz`` — and
+``repro top <url|progress.jsonl>`` renders it as a terminal dashboard.
+``--flight-recorder [DIR]`` keeps a bounded in-memory ring of recent
+events and dumps a postmortem bundle on campaign abort/degrade or
+SIGUSR1 (see :mod:`repro.obs.flight`).
+
 A *workbench* bundles a model architecture with its matched dataset, both
 reproducible from seeds, so a checkpoint plus a workbench name fully
 determines an experiment. Available workbenches: ``mlp-moons`` (the paper's
@@ -74,6 +82,7 @@ from repro.faults import BernoulliBitFlipModel, TargetSpec
 from repro.nn import LeNet, MLP, paper_mlp
 from repro.nn.models import resnet18_cifar_small
 from repro.nn.module import Module
+from repro.obs import flight as flight_mod
 from repro.train import Adam, Trainer, load_checkpoint, save_checkpoint
 from repro.utils.logging import set_verbosity
 from repro.utils.persist import atomic_write_json
@@ -309,6 +318,19 @@ def _add_observability(parser: argparse.ArgumentParser) -> None:
              "and writes a speedscope-loadable collapsed-stack file to PATH if given",
     )
     group.add_argument(
+        "--serve", default=None, metavar="[HOST:]PORT",
+        help="serve live telemetry over HTTP while the command runs — /status (JSON), "
+             "/metrics (OpenMetrics), /events (SSE), /healthz — watchable with "
+             "`repro top http://HOST:PORT`. Implies detailed metrics; port 0 picks a "
+             "free port. Strictly passive: results stay bit-identical",
+    )
+    group.add_argument(
+        "--flight-recorder", nargs="?", const=".", default=None, metavar="DIR",
+        help="keep a bounded ring of recent events in memory and dump a postmortem "
+             "bundle into DIR (default: current directory) when the campaign aborts "
+             "or degrades, or on SIGUSR1",
+    )
+    group.add_argument(
         "-v", "--verbose", action="count", default=0,
         help="raise library log verbosity (-v INFO, -vv DEBUG); propagated to workers",
     )
@@ -321,13 +343,40 @@ def _setup_observability(args) -> None:
         set_verbosity("DEBUG" if verbose > 1 else "INFO")
     if getattr(args, "trace", None):
         obs.configure(tracer=True)
-    if getattr(args, "metrics", None):
+    if getattr(args, "metrics", None) or getattr(args, "serve", None):
+        # a served /metrics endpoint needs the registry attached
         obs.configure(metrics=True)
+    sinks = []
     progress = getattr(args, "progress", None)
     if progress is not None:
-        obs.configure(progress=obs.StderrSink() if progress == "-" else obs.JsonlSink(progress))
+        sinks.append(obs.StderrSink() if progress == "-" else obs.JsonlSink(progress))
+    serve = getattr(args, "serve", None)
+    if serve is not None:
+        from repro.obs.server import SseSink, StatusServer, StatusTracker, parse_endpoint
+
+        try:
+            host, port = parse_endpoint(serve)
+        except ValueError as exc:
+            raise SystemExit(f"--serve: {exc}") from exc
+        tracker, sse = StatusTracker(), SseSink()
+        sinks.extend((tracker, sse))
+        try:
+            server = StatusServer(
+                host, port, tracker=tracker, sse=sse, labels={"pid": str(os.getpid())}
+            ).start()
+        except OSError as exc:
+            raise SystemExit(f"--serve: cannot bind {serve!r}: {exc}") from exc
+        args._status_server = server
+        print(f"status server: {server.url} "
+              "(endpoints: /status /metrics /events /healthz)", file=sys.stderr)
+    if sinks:
+        obs.configure(progress=sinks[0] if len(sinks) == 1 else obs.TeeSink(*sinks))
     if getattr(args, "profile", None) is not None:
         obs.configure(profiler=True)
+    flight_dir = getattr(args, "flight_recorder", None)
+    if flight_dir is not None:
+        recorder = flight_mod.install(flight_mod.FlightRecorder(autodump_dir=flight_dir))
+        flight_mod.enable_signal_dump(recorder)
 
 
 def _finalize_observability(args) -> None:
@@ -363,7 +412,17 @@ def _finalize_observability(args) -> None:
     metrics_path = getattr(args, "metrics", None)
     if metrics_path and registry is not None:
         _write("metrics", metrics_path,
-               lambda: atomic_write_json(metrics_path, registry.snapshot()))
+               lambda: atomic_write_json(
+                   metrics_path, {**obs.artifact_stamp(), **registry.snapshot()}
+               ))
+    server = getattr(args, "_status_server", None)
+    if server is not None:
+        server.stop()
+    recorder = flight_mod.active()
+    if recorder is not None:
+        for path in recorder.dumps:
+            print(f"postmortem bundle written to {path}", file=sys.stderr)
+        flight_mod.uninstall()
 
 
 def _print_executor_summary(executor) -> None:
@@ -653,6 +712,24 @@ def _cmd_boundary(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    from repro.obs.top import run_top
+
+    if args.interval <= 0:
+        raise SystemExit(f"top: --interval must be positive, got {args.interval}")
+    if not args.source.startswith(("http://", "https://")) and not os.path.exists(args.source):
+        raise SystemExit(
+            f"top: no such file {args.source!r} "
+            "(pass a --serve status URL or a --progress JSONL path)"
+        )
+    return run_top(
+        args.source,
+        interval_s=args.interval,
+        frames=args.frames,
+        clear=not args.no_clear,
+    )
+
+
 # ---------------------------------------------------------------------- #
 # parser
 # ---------------------------------------------------------------------- #
@@ -768,6 +845,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--seed", type=int, default=2019)
     bench.set_defaults(handler=_cmd_bench)
+
+    top = subparsers.add_parser(
+        "top", help="live terminal dashboard for a running campaign"
+    )
+    top.add_argument(
+        "source",
+        help="a --serve status URL (http://HOST:PORT) or a --progress JSONL file",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh interval (default: 1.0)",
+    )
+    top.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="render N frames then exit (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (logs, dumb terminals)",
+    )
+    top.set_defaults(handler=_cmd_top)
 
     boundary = subparsers.add_parser("boundary", help="decision-boundary map (Fig. 1 (3))")
     _add_common(boundary)

@@ -54,6 +54,7 @@ import numpy as np
 import repro.obs as obs
 from repro.exec import chaos as chaos_mod
 from repro.exec.specs import CampaignSpec
+from repro.obs import flight as flight_mod
 from repro.obs.profile import clock_s
 from repro.faults.targets import TargetSpec
 from repro.utils.logging import get_logger
@@ -214,6 +215,8 @@ class ExecutionStats:
     journal_errors: int = 0
     #: poison tasks quarantined instead of aborting (``on_failure="degrade"``)
     failed_tasks: list[FailedTask] = field(default_factory=list)
+    #: longest a running worker went without any sign of life (beat or result)
+    worst_heartbeat_gap_s: float = 0.0
 
     @property
     def retries(self) -> int:
@@ -232,6 +235,11 @@ class ExecutionStats:
     def count_retry(self, cause: str) -> None:
         self.retries_by_cause[cause] = self.retries_by_cause.get(cause, 0) + 1
 
+    def note_gap(self, gap_s: float) -> None:
+        """Record one observed worker-silence interval (keeps the max)."""
+        if gap_s > self.worst_heartbeat_gap_s:
+            self.worst_heartbeat_gap_s = gap_s
+
     def accounting(self) -> dict:
         """Explicit completeness accounting for degraded results.
 
@@ -246,10 +254,34 @@ class ExecutionStats:
             "failed_tasks": [task.to_dict() for task in self.failed_tasks],
         }
 
+    def to_dict(self) -> dict:
+        """Full JSON view of the stats (postmortem bundles, status server)."""
+        return {
+            **self.accounting(),
+            "duration_s": self.duration_s,
+            "parallel": self.parallel,
+            "journal_hits": self.journal_hits,
+            "journal_errors": self.journal_errors,
+            "heartbeats": self.heartbeats,
+            "worst_heartbeat_gap_s": self.worst_heartbeat_gap_s,
+            "retries": self.retries,
+            "retries_by_cause": dict(self.retries_by_cause),
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "pipe_drops": self.pipe_drops,
+            "pipe_duplicates": self.pipe_duplicates,
+        }
+
     def summary(self) -> str:
-        """One-line completion summary (printed by the CLI)."""
+        """One-line completion summary (printed by the CLI).
+
+        Leads with wall elapsed and the mean completion rate, then only
+        the nonzero extras — a failure line should carry its own timing
+        context for triage.
+        """
         mode = "parallel" if self.parallel else "sequential"
-        line = f"{self.tasks} task(s) in {self.duration_s:.2f}s ({mode})"
+        rate = f", {self.tasks / self.duration_s:.1f} tasks/s" if self.duration_s > 0 else ""
+        line = f"{self.tasks} task(s) in {self.duration_s:.2f}s ({mode}{rate})"
         retry_parts = [
             f"{cause} {count}" for cause, count in self.retries_by_cause.items() if count
         ]
@@ -261,6 +293,10 @@ class ExecutionStats:
                 ("timeouts", self.timeouts),
                 ("crashes", self.crashes),
                 ("failed", self.failed),
+                (
+                    "worst heartbeat gap",
+                    f"{self.worst_heartbeat_gap_s:.2f}s" if self.worst_heartbeat_gap_s else 0,
+                ),
             )
             if value
         ]
@@ -443,6 +479,7 @@ class ParallelCampaignExecutor:
                 raise TypeError(f"task spec must be a CampaignSpec, got {type(task.spec).__name__}")
         self.stats = ExecutionStats(tasks=len(tasks), parallel=self.workers > 1)
         started = clock_s()
+        aborted = False
         installed_chaos = False
         if self.chaos is not None and chaos_mod.active() is None:
             chaos_mod.install(self.chaos)
@@ -469,11 +506,19 @@ class ParallelCampaignExecutor:
                 ]
                 self._execute_sequential(tasks, remaining, results, keys)
             return results
+        except CampaignExecutionError:
+            aborted = True
+            raise
         finally:
-            if installed_chaos:
-                chaos_mod.uninstall()
             self.stats.duration_s = clock_s() - started
             self._flush_stats()
+            # postmortem before chaos uninstalls, so the bundle names the plan
+            if aborted:
+                flight_mod.autodump("executor.abort", stats=self.stats.to_dict())
+            elif self.stats.failed:
+                flight_mod.autodump("executor.degraded", stats=self.stats.to_dict())
+            if installed_chaos:
+                chaos_mod.uninstall()
 
     def _flush_stats(self) -> None:
         """Fold executor bookkeeping into the metrics registry and progress stream."""
@@ -494,6 +539,8 @@ class ParallelCampaignExecutor:
             registry.inc("executor.pipe_drops", stats.pipe_drops)
             registry.inc("executor.pipe_duplicates", stats.pipe_duplicates)
             registry.observe("executor.duration_s", stats.duration_s)
+            if stats.worst_heartbeat_gap_s:
+                registry.set_gauge("executor.worst_heartbeat_gap_s", stats.worst_heartbeat_gap_s)
         obs.publish(
             "executor.complete",
             tasks=stats.tasks,
@@ -505,6 +552,7 @@ class ParallelCampaignExecutor:
             timeouts=stats.timeouts,
             crashes=stats.crashes,
             heartbeats=stats.heartbeats,
+            worst_heartbeat_gap_s=stats.worst_heartbeat_gap_s,
             failed=stats.failed,
         )
 
@@ -669,6 +717,7 @@ class ParallelCampaignExecutor:
         for index in list(running):
             entry = running[index]
             if entry.connection.poll(0):
+                self.stats.note_gap(clock_s() - entry.last_beat)
                 try:
                     with obs.phase("ipc.recv"):
                         message = entry.connection.recv()
@@ -713,6 +762,7 @@ class ParallelCampaignExecutor:
                         tasks, keys, attempts, pending, index, "crashed mid-result", cause="crash"
                     )
             elif not entry.process.is_alive():
+                self.stats.note_gap(clock_s() - entry.last_beat)
                 exitcode = entry.process.exitcode
                 self._reap(entry)
                 del running[index]
@@ -723,6 +773,7 @@ class ParallelCampaignExecutor:
                     f"worker died (exit code {exitcode})", cause="crash",
                 )
             elif entry.deadline is not None and clock_s() > entry.deadline:
+                self.stats.note_gap(clock_s() - entry.last_beat)
                 entry.process.terminate()
                 self._reap(entry)
                 del running[index]
@@ -779,6 +830,7 @@ class ParallelCampaignExecutor:
         now = clock_s()
         if now - entry.last_beat < self.heartbeat_s:
             return
+        self.stats.note_gap(now - entry.last_beat)
         entry.last_beat = now
         self.stats.heartbeats += 1
         elapsed = now - entry.started
@@ -815,6 +867,9 @@ class ParallelCampaignExecutor:
             raise CampaignExecutionError(f"campaign {tasks[index].spec!r} {full_reason}")
         self.stats.count_retry(cause)
         delay = self._backoff_delay(index, attempts[index])
+        obs.publish(
+            "executor.retry", task=index, cause=cause, attempt=attempts[index], backoff_s=delay
+        )
         _LOGGER.warning(
             "campaign task %d %s; retrying (attempt %d/%d%s)",
             index, reason, attempts[index] + 1, self.max_attempts,

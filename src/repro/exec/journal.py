@@ -330,6 +330,14 @@ class CampaignJournal:
                 )
             self._quarantine(bad)
             self._heal(good_lines)
+        # the replayed position feeds live status (/status journal.records),
+        # so a resumed campaign reports journaled work it never re-ran
+        obs.publish(
+            "journal.replayed",
+            records=len(self._entries),
+            quarantined=len(self._quarantined),
+            path=self.path,
+        )
 
     def _quarantine(self, bad: list[tuple[int, str, str]]) -> None:
         """Append the rejected raw lines to the ``.quarantine`` sidecar.
@@ -340,6 +348,7 @@ class CampaignJournal:
         registry = obs.metrics()
         if registry is not None:
             registry.inc("journal.quarantined", len(bad))
+        obs.publish("journal.quarantined", lines=len(bad), path=self.path)
         try:
             with open(self.quarantine_path, "a", encoding="utf-8") as handle:
                 for number, reason, raw in bad:
@@ -449,6 +458,7 @@ class CampaignJournal:
                 ) from exc
         self._tamper_tail(offset)
         self._entries[key] = payload
+        obs.publish("journal.append", key=key, records=len(self._entries))
 
     def _rollback(self, offset: int) -> None:
         """Truncate the file back to ``offset`` (pre-append state), best effort."""

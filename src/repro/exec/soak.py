@@ -45,6 +45,7 @@ from repro.exec import chaos as chaos_mod
 from repro.exec.executor import CampaignTask, InjectorRecipe, ParallelCampaignExecutor
 from repro.exec.journal import CampaignJournal
 from repro.exec.specs import ForwardSpec
+from repro.obs import flight as flight_mod
 
 __all__ = ["SoakFailure", "run_soak", "main"]
 
@@ -59,7 +60,16 @@ MAX_ROUNDS = 4
 
 
 class SoakFailure(AssertionError):
-    """The soak contract was violated (non-identity or accounting hole)."""
+    """The soak contract was violated (non-identity or accounting hole).
+
+    ``postmortem`` is the path of the flight-recorder bundle dumped at
+    the moment of violation (``None`` if the dump itself failed) — the
+    actionable artifact CI uploads alongside the failure message.
+    """
+
+    def __init__(self, message: str, postmortem: str | None = None) -> None:
+        super().__init__(message)
+        self.postmortem = postmortem
 
 
 def _recipe(seed: int) -> InjectorRecipe:
@@ -127,6 +137,25 @@ def run_soak(seed: int, workdir: str, workers: int = 2) -> dict:
     clean_exec = ParallelCampaignExecutor(workers=1)
     clean = clean_exec.execute(list(tasks))
 
+    # The flight recorder rides along for the chaos rounds so a contract
+    # violation ships a postmortem bundle (recent events + chaos plan +
+    # metrics), not just an assertion message.
+    recorder = flight_mod.install(
+        flight_mod.FlightRecorder(capacity=1024, autodump_dir=workdir)
+    )
+
+    def _violate(message: str) -> None:
+        path = recorder.maybe_autodump(f"soak.seed{seed}")
+        suffix = f" (postmortem: {path})" if path else ""
+        raise SoakFailure(message + suffix, postmortem=path)
+
+    try:
+        return _soak_rounds(seed, workdir, workers, tasks, clean, recorder, _violate)
+    finally:
+        flight_mod.uninstall()
+
+
+def _soak_rounds(seed, workdir, workers, tasks, clean, recorder, _violate) -> dict:
     # --- chaos run with restart cycles ---------------------------------- #
     journal_path = os.path.join(workdir, f"soak-{seed}.journal.jsonl")
     rounds = []
@@ -185,14 +214,14 @@ def run_soak(seed: int, workdir: str, workers: int = 2) -> dict:
     # exact accounting holds in *every* outcome: completed tasks in this
     # final round plus named failures must tile the task space
     if accounting["completed"] + accounting["failed"] != accounting["tasks"]:
-        raise SoakFailure(
+        _violate(
             f"seed {seed}: accounting hole — {accounting['completed']} completed "
             f"+ {accounting['failed']} failed != {accounting['tasks']} tasks"
         )
     named = {failure["index"] for failure in accounting["failed_tasks"]}
     holes = {index for index, result in enumerate(results) if result is None}
     if named != holes:
-        raise SoakFailure(
+        _violate(
             f"seed {seed}: silent task loss — result holes {sorted(holes)} vs "
             f"named failures {sorted(named)}"
         )
@@ -203,16 +232,19 @@ def run_soak(seed: int, workdir: str, workers: int = 2) -> dict:
             if not np.array_equal(
                 clean_result.posterior.samples, chaos_result.posterior.samples
             ):
-                raise SoakFailure(
+                _violate(
                     f"seed {seed}: task {index} posterior diverged from the clean run"
                 )
             if _canon(clean_result) != _canon(chaos_result):
-                raise SoakFailure(
+                _violate(
                     f"seed {seed}: task {index} result record diverged from the clean run"
                 )
         report["bit_identical"] = True
     else:
+        # degraded-but-accounted: still dump a bundle so the failure report
+        # carries the event tail that led to each quarantine
         report["bit_identical"] = False
+        report["postmortem"] = recorder.maybe_autodump(f"soak.seed{seed}.degraded")
     return report
 
 

@@ -39,9 +39,11 @@ import contextlib
 import logging
 from dataclasses import dataclass
 
+from repro.obs import flight as _flight_mod
 from repro.obs import profile as _profile_mod
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profile import Profiler, profile_module
+from repro.obs.schema import SCHEMA_VERSION, artifact_stamp, artifact_version
 from repro.obs.progress import (
     JsonlSink,
     MemorySink,
@@ -67,6 +69,9 @@ __all__ = [
     "JsonlSink",
     "StderrSink",
     "TeeSink",
+    "SCHEMA_VERSION",
+    "artifact_stamp",
+    "artifact_version",
     "WorkerObsConfig",
     "configure",
     "reset",
@@ -165,9 +170,20 @@ def phase(name: str):
 
 
 def publish(kind: str, /, **payload) -> None:
-    """Publish a progress event; silently dropped when no sink is attached."""
+    """Publish a progress event; silently dropped when no sink is attached.
+
+    Every published event is also offered to the installed flight
+    recorder (:mod:`repro.obs.flight`) — with no recorder and no sink
+    this is two ``None`` checks.
+    """
+    recorder = _flight_mod.active()
+    if _progress is None and recorder is None:
+        return
+    event = ProgressEvent(kind=kind, payload=payload)
     if _progress is not None:
-        _progress.publish(ProgressEvent(kind=kind, payload=payload))
+        _progress.publish(event)
+    if recorder is not None:
+        recorder.record_event(event)
 
 
 def merge_metrics(snapshot: dict | None) -> None:

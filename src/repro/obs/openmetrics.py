@@ -1,0 +1,296 @@
+"""OpenMetrics/Prometheus text rendering of a MetricsRegistry snapshot.
+
+The :class:`~repro.obs.metrics.MetricsRegistry` already freezes into a
+plain dict (``snapshot()``); this module renders that dict in the
+OpenMetrics text exposition format so any Prometheus-compatible scraper
+can consume a live campaign's ``/metrics`` endpoint
+(:mod:`repro.obs.server`):
+
+* counters become ``<name>_total`` samples under a ``counter`` family;
+* gauges become plain samples under a ``gauge`` family (NaN gauges —
+  "never written" — are skipped rather than exported as ``NaN``);
+* histograms become the classic cumulative ``_bucket{le="..."}`` /
+  ``_sum`` / ``_count`` triple, with the implicit overflow bucket
+  exported as ``le="+Inf"``.
+
+Registry names are dotted (``executor.retries.crash``); metric names are
+sanitised to the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset (dots become
+underscores) and prefixed ``repro_``. Optional labels (campaign id,
+worker pid) are attached to every sample.
+
+:func:`validate` is a deliberately *strict* line-format checker — the
+test suite and the CI observability job run every served payload through
+it, so a drifting exporter fails loudly rather than producing output
+Prometheus silently mis-parses.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Mapping
+
+__all__ = [
+    "OpenMetricsError",
+    "metric_name",
+    "escape_label_value",
+    "render_openmetrics",
+    "validate_openmetrics",
+    "parse_samples",
+]
+
+#: prefix namespacing every exported metric family
+PREFIX = "repro_"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+#: one sample line: name, optional {labels}, value (no timestamps exported)
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+_LABEL_RE = re.compile(r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+
+class OpenMetricsError(ValueError):
+    """An exposition payload violates the OpenMetrics line format."""
+
+
+def metric_name(name: str) -> str:
+    """Sanitise a dotted registry name into a legal metric name.
+
+    Dots and any other illegal characters become underscores; a leading
+    digit gains an underscore prefix. The result always matches
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``.
+    """
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = "_" + cleaned
+    return PREFIX + cleaned
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format (backslash, quote, LF)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    """Canonical sample value rendering (integers stay integral)."""
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_block(labels: Mapping[str, str] | None) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for name in sorted(labels):
+        if not _LABEL_NAME_RE.match(name):
+            raise OpenMetricsError(f"illegal label name {name!r}")
+        parts.append(f'{name}="{escape_label_value(str(labels[name]))}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def _bucket_label_block(labels: Mapping[str, str] | None, le: str) -> str:
+    merged = dict(labels or {})
+    merged["le"] = le
+    # `le` must render unescaped-numeric; it never needs escaping anyway
+    parts = [f'{name}="{escape_label_value(str(value))}"' for name, value in sorted(merged.items())]
+    return "{" + ",".join(parts) + "}"
+
+
+def render_openmetrics(snapshot: Mapping | None, labels: Mapping[str, str] | None = None) -> str:
+    """Render a ``MetricsRegistry.snapshot()`` as OpenMetrics text.
+
+    ``labels`` (e.g. ``{"campaign": fingerprint, "pid": "1234"}``) are
+    attached to every sample. An empty or ``None`` snapshot renders a
+    valid, empty exposition (just the ``# EOF`` terminator), so a server
+    whose registry is detached still serves a scrapeable payload.
+    """
+    snapshot = snapshot or {}
+    lines: list[str] = []
+    block = _label_block(labels)
+    for name, value in sorted((snapshot.get("counters") or {}).items()):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family}_total{block} {_format_value(value)}")
+    for name, value in sorted((snapshot.get("gauges") or {}).items()):
+        value = float(value) if value is not None else float("nan")
+        if math.isnan(value):
+            continue  # never-written gauge carries no information
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family}{block} {_format_value(value)}")
+    for name, payload in sorted((snapshot.get("histograms") or {}).items()):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} histogram")
+        cumulative = 0
+        for bound, count in zip(payload["bounds"], payload["counts"]):
+            cumulative += int(count)
+            lines.append(
+                f"{family}_bucket{_bucket_label_block(labels, _format_value(bound))} {cumulative}"
+            )
+        cumulative += int(payload["counts"][len(payload["bounds"])])
+        lines.append(f"{family}_bucket{_bucket_label_block(labels, '+Inf')} {cumulative}")
+        lines.append(f"{family}_sum{block} {_format_value(payload['sum'])}")
+        lines.append(f"{family}_count{block} {int(payload['count'])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_labels(text: str | None) -> dict[str, str]:
+    if not text:
+        return {}
+    labels: dict[str, str] = {}
+    for item in text.split(","):
+        match = _LABEL_RE.match(item)
+        if match is None:
+            raise OpenMetricsError(f"malformed label pair {item!r}")
+        labels[match.group("name")] = match.group("value")
+    return labels
+
+
+def _parse_value(text: str, where: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise OpenMetricsError(f"{where}: unparsable sample value {text!r}") from exc
+
+
+def validate_openmetrics(text: str) -> dict[str, str]:
+    """Strictly validate an exposition payload; returns ``{family: type}``.
+
+    Checks, line by line:
+
+    * every line is a ``# TYPE``/``# HELP`` comment, a sample, or the
+      terminal ``# EOF`` (which must be present, once, at the end);
+    * metric and label names match the legal charset;
+    * every sample belongs to a previously-declared family (given the
+      counter ``_total`` and histogram ``_bucket``/``_sum``/``_count``
+      suffix rules) and families are not re-declared;
+    * histogram buckets are cumulative (non-decreasing counts, strictly
+      increasing ``le`` bounds, ``+Inf`` bucket present and equal to the
+      family's ``_count`` sample).
+
+    Raises :class:`OpenMetricsError` on the first violation.
+    """
+    if not text.endswith("\n"):
+        raise OpenMetricsError("payload must end with a newline")
+    lines = text.split("\n")[:-1]
+    if not lines or lines[-1] != "# EOF":
+        raise OpenMetricsError("payload must terminate with '# EOF'")
+    families: dict[str, str] = {}
+    # histogram bookkeeping: family -> (last le, last cumulative count)
+    bucket_state: dict[str, tuple[float, float]] = {}
+    bucket_inf: dict[str, float] = {}
+    hist_count: dict[str, float] = {}
+    for number, line in enumerate(lines[:-1], start=1):
+        if line == "# EOF":
+            raise OpenMetricsError(f"line {number}: '# EOF' before the end of the payload")
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise OpenMetricsError(f"line {number}: malformed TYPE comment {line!r}")
+            _, _, family, kind = parts
+            if not _NAME_RE.match(family):
+                raise OpenMetricsError(f"line {number}: illegal family name {family!r}")
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped", "info"):
+                raise OpenMetricsError(f"line {number}: unknown metric type {kind!r}")
+            if family in families:
+                raise OpenMetricsError(f"line {number}: family {family!r} declared twice")
+            families[family] = kind
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("#"):
+            raise OpenMetricsError(f"line {number}: unexpected comment {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise OpenMetricsError(f"line {number}: malformed sample line {line!r}")
+        name = match.group("name")
+        labels = _parse_labels(match.group("labels"))
+        value = _parse_value(match.group("value"), f"line {number}")
+        family, kind = _resolve_family(name, families)
+        if family is None:
+            raise OpenMetricsError(f"line {number}: sample {name!r} has no TYPE declaration")
+        if kind == "counter":
+            if not name.endswith("_total"):
+                raise OpenMetricsError(f"line {number}: counter sample {name!r} must end in _total")
+            if value < 0:
+                raise OpenMetricsError(f"line {number}: counter {name!r} is negative")
+        if kind == "histogram" and name.endswith("_bucket"):
+            if "le" not in labels:
+                raise OpenMetricsError(f"line {number}: histogram bucket without an 'le' label")
+            le = _parse_value(labels["le"], f"line {number} (le)")
+            last_le, last_count = bucket_state.get(family, (-math.inf, -math.inf))
+            if le <= last_le:
+                raise OpenMetricsError(
+                    f"line {number}: bucket le={labels['le']} not increasing for {family!r}"
+                )
+            if value < max(last_count, 0.0):
+                raise OpenMetricsError(
+                    f"line {number}: bucket counts not cumulative for {family!r}"
+                )
+            bucket_state[family] = (le, value)
+            if math.isinf(le):
+                bucket_inf[family] = value
+        if kind == "histogram" and name.endswith("_count"):
+            hist_count[family] = value
+    for family, kind in families.items():
+        if kind != "histogram":
+            continue
+        if family not in bucket_inf:
+            raise OpenMetricsError(f"histogram {family!r} has no '+Inf' bucket")
+        if family not in hist_count:
+            raise OpenMetricsError(f"histogram {family!r} has no '_count' sample")
+        if bucket_inf[family] != hist_count[family]:
+            raise OpenMetricsError(
+                f"histogram {family!r}: +Inf bucket ({bucket_inf[family]:g}) "
+                f"!= _count ({hist_count[family]:g})"
+            )
+    return families
+
+
+def _resolve_family(sample_name: str, families: Mapping[str, str]) -> tuple[str | None, str | None]:
+    """Map a sample name back to its declared family via the suffix rules."""
+    if sample_name in families:
+        return sample_name, families[sample_name]
+    for suffix in ("_total", "_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            family = sample_name[: -len(suffix)]
+            if family in families:
+                return family, families[family]
+    return None, None
+
+
+def parse_samples(text: str) -> dict[str, float]:
+    """Flat ``{sample name: value}`` view of an exposition payload.
+
+    Bucketed samples keep their ``le`` label in the key
+    (``name_bucket{le="0.1"}``). Convenience for ``repro top`` and tests;
+    run :func:`validate_openmetrics` first for strictness.
+    """
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        labels = _parse_labels(match.group("labels"))
+        key = match.group("name")
+        if "le" in labels:
+            key = f'{key}{{le="{labels["le"]}"}}'
+        samples[key] = _parse_value(match.group("value"), key)
+    return samples

@@ -100,14 +100,27 @@ class MemorySink(ProgressSink):
 
 
 class JsonlSink(ProgressSink):
-    """Append events as JSON lines to a file (machine-tailable)."""
+    """Append events as JSON lines to a file (machine-tailable).
+
+    A fresh file opens with one ``progress.header`` line carrying the
+    artifact schema stamp (:mod:`repro.obs.schema`); consumers treat the
+    header as just another event, and stamp-less streams written by
+    older versions still load as v0.
+    """
 
     def __init__(self, path: str) -> None:
+        from repro.obs.schema import artifact_stamp
+
         self.path = os.path.abspath(path)
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
         self._handle = open(self.path, "a", encoding="utf-8")
+        if self._handle.tell() == 0:  # new stream: stamp it before any event
+            self._handle.write(
+                json.dumps({**artifact_stamp(), "kind": "progress.header"}, allow_nan=False) + "\n"
+            )
+            self._handle.flush()
 
     def emit(self, event: ProgressEvent) -> None:
         self._handle.write(json.dumps(event.to_dict(), allow_nan=False) + "\n")

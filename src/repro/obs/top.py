@@ -1,0 +1,214 @@
+"""``repro top`` — a live terminal dashboard for a running campaign.
+
+Two sources, one renderer:
+
+* a **status URL** (a campaign started with ``--serve``): each frame
+  polls ``/status`` (and opportunistically ``/metrics``) over stdlib
+  ``urllib``;
+* a **progress JSONL file** (a campaign started with
+  ``--progress PATH``): each frame re-reads the file and replays every
+  event through a :class:`~repro.obs.server.StatusTracker` — the same
+  fold the live server uses, so both sources render identically.
+
+The dashboard is plain ANSI (clear + home between frames), no curses —
+it degrades to a repeated printout on dumb terminals and under test
+capture. Rendering is pure (:func:`render_dashboard` takes a status
+dict, returns a string), so tests never need a TTY or a sleep.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Callable
+
+from repro.obs.progress import ProgressEvent
+from repro.obs.server import StatusTracker
+from repro.utils.logging import get_logger
+
+__all__ = ["render_dashboard", "status_source", "run_top"]
+
+_LOGGER = get_logger("obs.top")
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_duration(seconds) -> str:
+    if seconds is None:
+        return "--"
+    seconds = float(seconds)
+    if seconds < 0:
+        return "--"
+    if seconds < 100:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m" if hours else f"{minutes}m{secs:02d}s"
+
+
+def _bar(done: int, total: int, width: int = 30) -> str:
+    if total <= 0:
+        return "[" + " " * width + "]"
+    filled = int(width * min(1.0, done / total))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def render_dashboard(status: dict, source: str = "") -> str:
+    """Render one dashboard frame from a ``/status`` document."""
+    tasks = status.get("tasks") or {}
+    total = int(tasks.get("total") or 0)
+    completed = int(tasks.get("completed") or 0)
+    failed = int(tasks.get("failed") or 0)
+    running = status.get("running")
+    state = "RUNNING" if running else ("idle" if running is not None else "?")
+    lines = [
+        f"repro top — {source}" if source else "repro top",
+        "",
+        f"  state     {state}    tasks {completed + failed}/{total} "
+        f"{_bar(completed + failed, total)}",
+        f"  completed {completed}    failed {failed}    "
+        f"retries {tasks.get('retries', 0)} {tasks.get('retries_by_cause') or {}}",
+        f"  rate      {status.get('rate_per_s') or 0:.2f} tasks/s    "
+        f"eta {_fmt_duration(status.get('eta_s'))}    "
+        f"heartbeats {status.get('heartbeats', 0)}",
+    ]
+    journal = status.get("journal") or {}
+    if journal.get("records") is not None:
+        lines.append(
+            f"  journal   {journal['records']} record(s)"
+            + (f"    quarantined {journal['quarantined']}" if journal.get("quarantined") else "")
+        )
+    chaos = status.get("chaos_fired") or {}
+    if chaos:
+        fired = ", ".join(f"{site}={count}" for site, count in sorted(chaos.items()))
+        lines.append(f"  chaos     {fired}")
+    sweep = status.get("sweep") or {}
+    if sweep.get("points_done"):
+        last = sweep.get("last") or {}
+        lines.append(
+            f"  sweep     {sweep['points_done']} point(s) done"
+            + (f"    last p={last.get('p'):.3g}" if last.get("p") is not None else "")
+        )
+    adaptive = status.get("adaptive")
+    if adaptive:
+        lines.append(
+            f"  adaptive  steps={adaptive.get('steps')} r_hat={adaptive.get('r_hat')} "
+            f"ess={adaptive.get('ess')}"
+        )
+    workers = status.get("workers") or {}
+    lines.append("")
+    if workers:
+        lines.append("  workers (running tasks):")
+        lines.append("    task   pid       attempt  elapsed   beat age")
+        for task in sorted(workers, key=lambda t: int(t) if str(t).isdigit() else 0):
+            beat = workers[task]
+            lines.append(
+                f"    {task:<6} {str(beat.get('pid')):<9} {str(beat.get('attempt')):<8} "
+                f"{_fmt_duration(beat.get('elapsed_s')):<9} "
+                f"{_fmt_duration(beat.get('heartbeat_age_s'))}"
+            )
+    else:
+        lines.append("  workers: none beating")
+    last_complete = status.get("last_complete")
+    if last_complete:
+        lines.append("")
+        lines.append(
+            f"  done: {last_complete.get('tasks')} task(s) in "
+            f"{_fmt_duration(last_complete.get('duration_s'))}, "
+            f"failed {last_complete.get('failed', 0)}"
+        )
+    server = status.get("server")
+    if server:
+        lines.append("")
+        lines.append(
+            f"  server up {_fmt_duration(server.get('uptime_s'))}    "
+            f"sse subscribers {server.get('sse_subscribers', 0)}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------- #
+# sources
+# ---------------------------------------------------------------------- #
+
+
+def _poll_url(url: str) -> dict:
+    import urllib.request
+
+    with urllib.request.urlopen(url.rstrip("/") + "/status", timeout=5.0) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _replay_jsonl(path: str) -> dict:
+    tracker = StatusTracker()
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail of a live file; next frame will see it whole
+            kind = record.pop("kind", None)
+            if not kind or kind == "progress.header":
+                continue
+            wall_time = record.pop("wall_time", 0.0) or 0.0
+            # the envelope pid stays in the payload: worker-carrying events
+            # (heartbeats) read it from there
+            tracker.emit(
+                ProgressEvent(
+                    kind=kind, payload=record, wall_time=wall_time, pid=record.get("pid", 0) or 0
+                )
+            )
+    return tracker.status()
+
+
+def status_source(source: str) -> Callable[[], dict]:
+    """A zero-argument poller for ``source`` (status URL or progress JSONL)."""
+    if source.startswith(("http://", "https://")):
+        return lambda: _poll_url(source)
+    return lambda: _replay_jsonl(source)
+
+
+def run_top(
+    source: str,
+    interval_s: float = 1.0,
+    frames: int | None = None,
+    stream=None,
+    clear: bool = True,
+) -> int:
+    """Poll ``source`` and render the dashboard until interrupted.
+
+    ``frames`` bounds the number of refreshes (``None`` = until Ctrl-C);
+    returns a process exit code. Poll failures render an error frame and
+    keep trying — a campaign restarting between frames is normal.
+    """
+    out = stream if stream is not None else sys.stdout
+    rendered = 0
+    failures = 0
+    reached = False  # a source that never answered is an error, not a wait
+    poll = status_source(source)
+    try:
+        while frames is None or rendered < frames:
+            if rendered:
+                time.sleep(interval_s)
+            try:
+                status = poll()
+            except (OSError, ValueError) as exc:
+                failures += 1
+                frame = f"repro top — {source}\n\n  unreachable: {exc}\n"
+                if failures > 5 and not reached:
+                    out.write(frame)
+                    return 1
+            else:
+                failures = 0
+                reached = True
+                frame = render_dashboard(status, source=source)
+            out.write((_CLEAR if clear else "") + frame)
+            out.flush()
+            rendered += 1
+    except KeyboardInterrupt:
+        pass
+    return 0

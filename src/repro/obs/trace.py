@@ -128,12 +128,14 @@ class Tracer:
 
     def export(self) -> dict:
         """The Chrome Trace Event JSON object (sorted by timestamp)."""
+        from repro.obs.schema import artifact_stamp
+
         with self._lock:
             events = sorted(self.events, key=lambda e: e["ts"])
         return {
             "traceEvents": events,
             "displayTimeUnit": "ms",
-            "otherData": {"producer": "repro.obs", "format_version": 1},
+            "otherData": {"producer": "repro.obs", "format_version": 1, **artifact_stamp()},
         }
 
     def save(self, path: str) -> None:

@@ -246,7 +246,7 @@ class TestJournalDigests:
 class TestStatsSummary:
     def test_summary_mentions_only_nonzero_extras(self):
         quiet = ExecutionStats(tasks=3, duration_s=0.5, parallel=False)
-        assert quiet.summary() == "3 task(s) in 0.50s (sequential)"
+        assert quiet.summary() == "3 task(s) in 0.50s (sequential, 6.0 tasks/s)"
         noisy = ExecutionStats(
             tasks=4,
             duration_s=0.15,
@@ -255,5 +255,32 @@ class TestStatsSummary:
             timeouts=2,
         )
         assert noisy.summary() == (
-            "4 task(s) in 0.15s (parallel); retries 1 (crash 1), timeouts 2"
+            "4 task(s) in 0.15s (parallel, 26.7 tasks/s); retries 1 (crash 1), timeouts 2"
         )
+
+    def test_summary_omits_rate_without_duration(self):
+        stats = ExecutionStats(tasks=2, duration_s=0.0, parallel=False)
+        assert stats.summary() == "2 task(s) in 0.00s (sequential)"
+
+    def test_summary_reports_worst_heartbeat_gap(self):
+        stats = ExecutionStats(
+            tasks=1, duration_s=1.0, parallel=True, worst_heartbeat_gap_s=0.37
+        )
+        assert "worst heartbeat gap 0.37s" in stats.summary()
+
+    def test_note_gap_keeps_the_maximum(self):
+        stats = ExecutionStats()
+        stats.note_gap(0.2)
+        stats.note_gap(0.9)
+        stats.note_gap(0.5)
+        assert stats.worst_heartbeat_gap_s == 0.9
+
+    def test_to_dict_carries_accounting_and_health(self):
+        stats = ExecutionStats(tasks=3, duration_s=0.5, parallel=True)
+        stats.count_retry("crash")
+        record = stats.to_dict()
+        assert record["tasks"] == 3
+        assert record["completed"] == 3 and record["failed"] == 0
+        assert record["parallel"] is True
+        assert record["retries"] == 1 and record["retries_by_cause"]["crash"] == 1
+        assert "worst_heartbeat_gap_s" in record

@@ -1,0 +1,185 @@
+"""OpenMetrics exporter: rendering, strict validation, sample parsing.
+
+The exporter and the validator are developed against each other: every
+rendered payload must pass the strict validator, and the validator must
+reject the classic exposition-format mistakes (missing # EOF, undeclared
+families, non-cumulative buckets) so drift fails loudly in CI.
+"""
+
+import math
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.openmetrics import (
+    OpenMetricsError,
+    escape_label_value,
+    metric_name,
+    parse_samples,
+    render_openmetrics,
+    validate_openmetrics,
+)
+
+
+class TestMetricName:
+    def test_dots_become_underscores_with_prefix(self):
+        assert metric_name("executor.retries.crash") == "repro_executor_retries_crash"
+
+    def test_illegal_characters_sanitised(self):
+        assert metric_name("flips.layer.fc1/weight") == "repro_flips_layer_fc1_weight"
+
+    def test_leading_digit_guarded(self):
+        assert metric_name("3sigma") == "repro__3sigma"
+
+    def test_label_value_escaping(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+class TestRender:
+    def test_empty_snapshot_is_valid_exposition(self):
+        text = render_openmetrics(None)
+        assert text == "# EOF\n"
+        assert validate_openmetrics(text) == {}
+
+    def test_counters_gain_total_suffix(self):
+        text = render_openmetrics({"counters": {"evaluations": 42}})
+        assert "# TYPE repro_evaluations counter" in text
+        assert "repro_evaluations_total 42" in text
+        validate_openmetrics(text)
+
+    def test_nan_gauges_are_skipped(self):
+        text = render_openmetrics(
+            {"gauges": {"written": 1.5, "never_written": float("nan")}}
+        )
+        assert "repro_written 1.5" in text
+        assert "never_written" not in text
+        validate_openmetrics(text)
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        snapshot = {
+            "histograms": {
+                "campaign.duration_s": {
+                    "bounds": [0.1, 1.0],
+                    "counts": [2, 3, 1],  # per-bucket, overflow last
+                    "sum": 4.5,
+                    "count": 6,
+                }
+            }
+        }
+        text = render_openmetrics(snapshot)
+        samples = parse_samples(text)
+        assert samples['repro_campaign_duration_s_bucket{le="0.1"}'] == 2
+        assert samples['repro_campaign_duration_s_bucket{le="1"}'] == 5
+        assert samples['repro_campaign_duration_s_bucket{le="+Inf"}'] == 6
+        assert samples["repro_campaign_duration_s_count"] == 6
+        assert samples["repro_campaign_duration_s_sum"] == 4.5
+        validate_openmetrics(text)
+
+    def test_labels_attached_to_every_sample(self):
+        text = render_openmetrics(
+            {"counters": {"a": 1}, "gauges": {"b": 2.0}}, labels={"pid": "99"}
+        )
+        assert 'repro_a_total{pid="99"} 1' in text
+        assert 'repro_b{pid="99"} 2' in text
+        validate_openmetrics(text)
+
+    def test_live_registry_snapshot_renders_clean(self):
+        obs.configure(metrics=True)
+        registry = obs.metrics()
+        registry.inc("evaluations", 10)
+        registry.set_gauge("executor.worst_heartbeat_gap_s", 0.25)
+        registry.observe("campaign.duration_s", 0.5)
+        registry.observe("campaign.duration_s", 2.0)
+        text = render_openmetrics(registry.snapshot(), labels={"pid": "1"})
+        families = validate_openmetrics(text)
+        assert families["repro_evaluations"] == "counter"
+        assert families["repro_campaign_duration_s"] == "histogram"
+
+    def test_illegal_label_name_rejected_at_render(self):
+        with pytest.raises(OpenMetricsError, match="illegal label name"):
+            render_openmetrics({"counters": {"a": 1}}, labels={"bad-name": "x"})
+
+
+class TestValidate:
+    def test_missing_eof_rejected(self):
+        with pytest.raises(OpenMetricsError, match="EOF"):
+            validate_openmetrics("# TYPE repro_a counter\nrepro_a_total 1\n")
+
+    def test_missing_trailing_newline_rejected(self):
+        with pytest.raises(OpenMetricsError, match="newline"):
+            validate_openmetrics("# EOF")
+
+    def test_eof_mid_payload_rejected(self):
+        with pytest.raises(OpenMetricsError, match="before the end"):
+            validate_openmetrics("# EOF\n# TYPE repro_a counter\n# EOF\n")
+
+    def test_sample_without_type_declaration_rejected(self):
+        with pytest.raises(OpenMetricsError, match="no TYPE declaration"):
+            validate_openmetrics("repro_a_total 1\n# EOF\n")
+
+    def test_family_declared_twice_rejected(self):
+        text = "# TYPE repro_a counter\n# TYPE repro_a counter\n# EOF\n"
+        with pytest.raises(OpenMetricsError, match="declared twice"):
+            validate_openmetrics(text)
+
+    def test_counter_sample_must_end_in_total(self):
+        text = "# TYPE repro_a counter\nrepro_a 1\n# EOF\n"
+        with pytest.raises(OpenMetricsError, match="_total"):
+            validate_openmetrics(text)
+
+    def test_negative_counter_rejected(self):
+        text = "# TYPE repro_a counter\nrepro_a_total -1\n# EOF\n"
+        with pytest.raises(OpenMetricsError, match="negative"):
+            validate_openmetrics(text)
+
+    def test_non_cumulative_buckets_rejected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 5\n'
+            'repro_h_bucket{le="1"} 3\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 3\n"
+            "# EOF\n"
+        )
+        with pytest.raises(OpenMetricsError, match="cumulative"):
+            validate_openmetrics(text)
+
+    def test_inf_bucket_must_match_count(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 4\n"
+            "# EOF\n"
+        )
+        with pytest.raises(OpenMetricsError, match="!= _count"):
+            validate_openmetrics(text)
+
+    def test_histogram_without_inf_bucket_rejected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 3\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 3\n"
+            "# EOF\n"
+        )
+        with pytest.raises(OpenMetricsError, match=r"\+Inf"):
+            validate_openmetrics(text)
+
+    def test_malformed_sample_line_rejected(self):
+        with pytest.raises(OpenMetricsError, match="malformed sample"):
+            validate_openmetrics("# TYPE repro_a gauge\nrepro_a one two three\n# EOF\n")
+
+    def test_help_comments_accepted(self):
+        text = "# HELP repro_a whatever\n# TYPE repro_a gauge\nrepro_a 1\n# EOF\n"
+        assert validate_openmetrics(text) == {"repro_a": "gauge"}
+
+
+class TestParseSamples:
+    def test_inf_values_roundtrip(self):
+        samples = parse_samples('# TYPE repro_h histogram\nrepro_h_bucket{le="+Inf"} 2\n# EOF\n')
+        assert samples == {'repro_h_bucket{le="+Inf"}': 2.0}
+
+    def test_infinite_sample_value(self):
+        assert parse_samples("repro_g +Inf\n")["repro_g"] == math.inf

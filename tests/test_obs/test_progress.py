@@ -46,7 +46,22 @@ class TestSinks:
         sink.close()
         with open(path, encoding="utf-8") as handle:
             records = [json.loads(line) for line in handle]
-        assert [r["p"] for r in records] == [1e-3, 1e-2]
+        # a fresh file opens with a one-line version header, then events
+        assert records[0]["kind"] == "progress.header"
+        assert records[0]["schema_version"] >= 1
+        assert [r["p"] for r in records[1:]] == [1e-3, 1e-2]
+
+    def test_jsonl_sink_appends_without_second_header(self, tmp_path):
+        path = str(tmp_path / "events.jsonl")
+        first = JsonlSink(path)
+        first.publish(ProgressEvent(kind="a"))
+        first.close()
+        second = JsonlSink(path)
+        second.publish(ProgressEvent(kind="b"))
+        second.close()
+        with open(path, encoding="utf-8") as handle:
+            kinds = [json.loads(line)["kind"] for line in handle]
+        assert kinds == ["progress.header", "a", "b"]
 
     def test_stderr_sink_renders_to_stream(self):
         stream = io.StringIO()
