@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import stats as sps
 
+from repro.bayes.intervals import central_tails
 from repro.utils.rng import as_generator
 
 __all__ = ["bootstrap_ci", "bootstrap_mean_difference", "permutation_test", "rank_correlation"]
@@ -21,13 +22,11 @@ def bootstrap_ci(
     samples = np.asarray(samples, dtype=np.float64)
     if samples.ndim != 1 or samples.size < 2:
         raise ValueError("samples must be a 1-D array with at least 2 points")
-    if not 0 < confidence < 1:
-        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    tails = central_tails(confidence)
     gen = as_generator(rng)
     indices = gen.integers(0, samples.size, size=(n_boot, samples.size))
     replicates = np.apply_along_axis(statistic, 1, samples[indices])
-    tail = (1 - confidence) / 2
-    lo, hi = np.quantile(replicates, [tail, 1 - tail])
+    lo, hi = np.quantile(replicates, tails)
     return float(lo), float(hi)
 
 
@@ -43,12 +42,12 @@ def bootstrap_mean_difference(
     b = np.asarray(b, dtype=np.float64)
     if a.size < 2 or b.size < 2:
         raise ValueError("both samples need at least 2 points")
+    tails = central_tails(confidence)
     gen = as_generator(rng)
     idx_a = gen.integers(0, a.size, size=(n_boot, a.size))
     idx_b = gen.integers(0, b.size, size=(n_boot, b.size))
     diffs = a[idx_a].mean(axis=1) - b[idx_b].mean(axis=1)
-    tail = (1 - confidence) / 2
-    lo, hi = np.quantile(diffs, [tail, 1 - tail])
+    lo, hi = np.quantile(diffs, tails)
     return float(a.mean() - b.mean()), float(lo), float(hi)
 
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 import math
 
 import numpy as np
-from scipy import stats as sps
 from scipy.special import betaln, gammaln
 
 __all__ = [
@@ -200,12 +199,15 @@ class Beta(Distribution):
             )
 
     def interval(self, mass: float = 0.95) -> tuple[float, float]:
-        """Central credible interval containing ``mass`` probability."""
-        if not 0 < mass < 1:
-            raise ValueError(f"mass must be in (0, 1), got {mass}")
-        tail = (1.0 - mass) / 2.0
-        lo, hi = sps.beta.ppf([tail, 1.0 - tail], self.a, self.b)
-        return float(lo), float(hi)
+        """Central credible interval containing ``mass`` probability.
+
+        Delegates to :func:`repro.bayes.intervals.beta_central_interval`,
+        so near-degenerate posteriors (k=0 / k=n conjugate updates) always
+        yield a finite, clamped sub-interval of ``[0, 1]``.
+        """
+        from repro.bayes.intervals import beta_central_interval
+
+        return beta_central_interval(self.a, self.b, mass)
 
     def posterior(self, successes: int, failures: int) -> "Beta":
         """Conjugate update with observed counts."""

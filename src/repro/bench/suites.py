@@ -16,7 +16,9 @@ plus their warmup/repeat protocol. Group names match the historical
 * ``bench_completeness`` — fixed-budget MCMC mixing and adaptive stopping;
 * ``bench_fastpath`` — the faulted-forward fast path (prefix caching +
   batched evaluation + sparse apply) against the standard path on a
-  ResNet-18 layerwise campaign.
+  ResNet-18 layerwise campaign;
+* ``bench_estimator`` — the estimator tracker's fold throughput over 10k
+  synthetic task outcomes and the query-side document/exposition builds.
 
 Every suite has a *quick* tier (smaller grids/budgets, same case names) so
 CI gates on the same baselines a developer regenerates locally with
@@ -266,6 +268,48 @@ def _fastpath_suite(quick: bool, seed: int, cache_dir: str | None) -> dict[str, 
     }
 
 
+def _estimator_suite(quick: bool, seed: int, cache_dir: str | None) -> dict[str, CaseSpec]:
+    from repro.obs.estimator import EstimatorTracker, StoppingTarget
+    from repro.obs.progress import ProgressEvent
+
+    # synthetic outcome stream: 10k tasks over 20 strata (4 layer labels ×
+    # 5 flip probabilities), 40 trials each — the fold must stay O(1) per
+    # event for the live tracker to be free on the delivery path
+    rng = np.random.default_rng(seed)
+    layers = ("all", "fc1", "fc2", "conv1")
+    events = []
+    for task in range(10_000):
+        degraded = np.flatnonzero(rng.random(40) < 0.3)
+        events.append(
+            ProgressEvent(
+                kind="estimate",
+                payload={
+                    "task": task,
+                    "layer": layers[task % len(layers)],
+                    "bitfield": "all",
+                    "p": 10.0 ** -(task % 5 + 1),
+                    "trials": 40,
+                    "degraded_trials": [int(i) for i in degraded],
+                },
+            )
+        )
+
+    def fold():
+        tracker = EstimatorTracker(target=StoppingTarget(0.05))
+        for event in events:
+            tracker.emit(event)
+        return tracker
+
+    folded = fold()
+
+    repeats = 3 if quick else 7
+    return {
+        "fold_10k_outcomes": CaseSpec(fold, repeats=repeats),
+        "estimates_document": CaseSpec(folded.estimates, repeats=repeats),
+        "metric_families": CaseSpec(folded.metric_families, repeats=repeats),
+    }
+
+
 #: group name → suite builder ``(quick, seed, cache_dir) → {name: CaseSpec}``
 SUITES: dict[str, Callable[[bool, int, str | None], dict[str, CaseSpec]]] = {
     "bench_micro": _micro_suite,
@@ -273,6 +317,7 @@ SUITES: dict[str, Callable[[bool, int, str | None], dict[str, CaseSpec]]] = {
     "bench_fig2_mlp_sweep": _fig2_suite,
     "bench_completeness": _completeness_suite,
     "bench_fastpath": _fastpath_suite,
+    "bench_estimator": _estimator_suite,
 }
 
 

@@ -82,6 +82,7 @@ from repro.faults import BernoulliBitFlipModel, TargetSpec
 from repro.nn import LeNet, MLP, paper_mlp
 from repro.nn.models import resnet18_cifar_small
 from repro.nn.module import Module
+from repro.obs import estimator as estimator_mod
 from repro.obs import flight as flight_mod
 from repro.train import Adam, Trainer, load_checkpoint, save_checkpoint
 from repro.utils.logging import set_verbosity
@@ -331,6 +332,17 @@ def _add_observability(parser: argparse.ArgumentParser) -> None:
              "or degrades, or on SIGUSR1",
     )
     group.add_argument(
+        "--target-halfwidth", type=float, default=None, metavar="W",
+        help="arm the advisory stopping monitor: track per-stratum posterior credible "
+             "intervals and report the first task at which each stratum's CI half-width "
+             "dropped to W. Strictly observational — never stops the run, results stay "
+             "bit-identical",
+    )
+    group.add_argument(
+        "--target-mass", type=float, default=0.95, metavar="MASS",
+        help="credible mass for the stopping monitor's intervals (default 0.95)",
+    )
+    group.add_argument(
         "-v", "--verbose", action="count", default=0,
         help="raise library log verbosity (-v INFO, -vv DEBUG); propagated to workers",
     )
@@ -350,7 +362,23 @@ def _setup_observability(args) -> None:
     progress = getattr(args, "progress", None)
     if progress is not None:
         sinks.append(obs.StderrSink() if progress == "-" else obs.JsonlSink(progress))
+    target = None
+    halfwidth = getattr(args, "target_halfwidth", None)
+    if halfwidth is not None:
+        try:
+            target = estimator_mod.StoppingTarget(
+                halfwidth, getattr(args, "target_mass", estimator_mod.DEFAULT_MASS)
+            )
+        except ValueError as exc:
+            raise SystemExit(f"--target-halfwidth: {exc}") from exc
     serve = getattr(args, "serve", None)
+    estimator = None
+    if serve is not None or target is not None:
+        # live posterior telemetry: always on with a server (it backs
+        # /estimates), and with a stopping target even headless
+        estimator = estimator_mod.install(estimator_mod.EstimatorTracker(target=target))
+        sinks.append(estimator)
+        args._estimator = estimator
     if serve is not None:
         from repro.obs.server import SseSink, StatusServer, StatusTracker, parse_endpoint
 
@@ -362,13 +390,14 @@ def _setup_observability(args) -> None:
         sinks.extend((tracker, sse))
         try:
             server = StatusServer(
-                host, port, tracker=tracker, sse=sse, labels={"pid": str(os.getpid())}
+                host, port, tracker=tracker, sse=sse, estimator=estimator,
+                labels={"pid": str(os.getpid())},
             ).start()
         except OSError as exc:
             raise SystemExit(f"--serve: cannot bind {serve!r}: {exc}") from exc
         args._status_server = server
         print(f"status server: {server.url} "
-              "(endpoints: /status /metrics /events /healthz)", file=sys.stderr)
+              "(endpoints: /status /metrics /estimates /events /healthz)", file=sys.stderr)
     if sinks:
         obs.configure(progress=sinks[0] if len(sinks) == 1 else obs.TeeSink(*sinks))
     if getattr(args, "profile", None) is not None:
@@ -418,6 +447,12 @@ def _finalize_observability(args) -> None:
     server = getattr(args, "_status_server", None)
     if server is not None:
         server.stop()
+    estimator = getattr(args, "_estimator", None)
+    if estimator is not None:
+        if estimator.target is not None and estimator.contributions:
+            for line in estimator_mod.StoppingMonitor(estimator).report_lines():
+                print(line, file=sys.stderr)
+        estimator_mod.uninstall()
     recorder = flight_mod.active()
     if recorder is not None:
         for path in recorder.dumps:
@@ -538,6 +573,7 @@ def _cmd_campaign(args) -> int:
         campaign = executor.run([spec])[0]
     else:
         campaign = injector.run(spec)
+        estimator_mod.publish_outcome(0, campaign, spec=spec, target=injector.spec)
     if campaign is None:  # quarantined under --on-failure degrade
         failure = executor.stats.failed_tasks[0] if executor.stats.failed_tasks else None
         reason = failure.reason if failure else "task failed"

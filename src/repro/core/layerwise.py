@@ -26,6 +26,7 @@ from repro.exec.executor import CampaignTask, InjectorRecipe, ParallelCampaignEx
 from repro.exec.specs import ForwardSpec
 from repro.faults.targets import TargetSpec, resolve_parameter_targets
 from repro.nn.module import Module
+from repro.obs.estimator import publish_outcome
 from repro.utils.logging import get_logger
 
 __all__ = ["LayerResult", "LayerwiseCampaign", "parameterised_layers"]
@@ -152,6 +153,7 @@ class LayerwiseCampaign:
                 if cached is not None:
                     _LOGGER.info("journal hit for layer %s; skipping re-run", layer)
                     obs.merge_campaign_metrics(cached)
+                    publish_outcome(depth, cached, spec=spec, target=self._layer_spec(layer))
                     campaigns.append(cached)
                     continue
             injector = BayesianFaultInjector(
@@ -161,6 +163,7 @@ class LayerwiseCampaign:
             outcome = injector.run(spec)
             if self.journal is not None:
                 self.journal.record(key, outcome)
+            publish_outcome(depth, outcome, spec=spec, target=self._layer_spec(layer))
             campaigns.append(outcome)
         return campaigns
 

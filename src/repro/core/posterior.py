@@ -51,10 +51,9 @@ class ErrorPosterior:
 
     def credible_interval(self, mass: float = 0.95) -> tuple[float, float]:
         """Central interval of the sampled error distribution."""
-        if not 0 < mass < 1:
-            raise ValueError(f"mass must be in (0, 1), got {mass}")
-        tail = (1 - mass) / 2
-        lo, hi = np.quantile(self.samples, [tail, 1 - tail])
+        from repro.bayes.intervals import central_tails
+
+        lo, hi = np.quantile(self.samples, central_tails(mass))
         return float(lo), float(hi)
 
     # ------------------------------------------------------------------ #

@@ -29,6 +29,7 @@ from repro.core.injector import BayesianFaultInjector
 from repro.core.knee import TwoRegimeFit, fit_two_regimes, truncate_saturated_tail
 from repro.exec.executor import ParallelCampaignExecutor
 from repro.exec.specs import CampaignSpec, ForwardSpec, spec_from_method
+from repro.obs.estimator import publish_outcome
 from repro.utils.logging import get_logger
 
 __all__ = ["SweepPoint", "ProbabilitySweep"]
@@ -145,7 +146,11 @@ class ProbabilitySweep:
             elif self.journal is not None:
                 campaigns = self._run_journaled(specs)
             else:
-                campaigns = [self.injector.run(spec) for spec in specs]
+                campaigns = []
+                for index, spec in enumerate(specs):
+                    outcome = self.injector.run(spec)
+                    publish_outcome(index, outcome, spec=spec, target=self.injector.spec)
+                    campaigns.append(outcome)
         failures = {} if self.executor is None else {
             failure.index: failure for failure in self.executor.stats.failed_tasks
         }
@@ -198,18 +203,21 @@ class ProbabilitySweep:
 
         scope = target_fingerprint(self.injector.spec)
         campaigns = []
-        for spec in specs:
+        for index, spec in enumerate(specs):
             key = task_key(spec, seed=self.injector.seed, scope=scope)
             cached = self.journal.get(key)
             if cached is not None:
                 _LOGGER.info("journal hit for p=%g; skipping re-run", spec.p)
                 # the run that produced this digest merged in another
                 # process/session; this is its one chance to reach totals
+                # — and to feed the estimator tracker
                 obs.merge_campaign_metrics(cached)
+                publish_outcome(index, cached, spec=spec, target=self.injector.spec)
                 campaigns.append(cached)
                 continue
             outcome = self.injector.run(spec)
             self.journal.record(key, outcome)
+            publish_outcome(index, outcome, spec=spec, target=self.injector.spec)
             campaigns.append(outcome)
         return campaigns
 

@@ -55,6 +55,7 @@ import repro.obs as obs
 from repro.exec import chaos as chaos_mod
 from repro.exec.specs import CampaignSpec
 from repro.obs import flight as flight_mod
+from repro.obs.estimator import publish_outcome
 from repro.obs.profile import clock_s
 from repro.faults.targets import TargetSpec
 from repro.utils.logging import get_logger
@@ -574,8 +575,13 @@ class ParallelCampaignExecutor:
                 results[index] = cached
                 self.stats.journal_hits += 1
                 # journaled results never re-run, so their stamped digest is
-                # the only way their work reaches the driver's totals
+                # the only way their work reaches the driver's totals —
+                # same for their estimator contribution
                 obs.merge_campaign_metrics(cached)
+                publish_outcome(
+                    index, cached,
+                    spec=tasks[index].spec, target=tasks[index].recipe.target_spec,
+                )
             else:
                 pending.append(index)
         if self.stats.journal_hits:
@@ -644,6 +650,7 @@ class ParallelCampaignExecutor:
             results[index] = outcome
             self._record(keys[index], outcome)
             obs.publish("executor.task_done", task=index, campaign=task.spec.kind, p=task.spec.p)
+            publish_outcome(index, outcome, spec=task.spec, target=task.recipe.target_spec)
 
     # ------------------------------------------------------------------ #
     # process-per-task scheduler
@@ -822,6 +829,7 @@ class ParallelCampaignExecutor:
             if driver_profiler is not None:
                 driver_profiler.merge(report["profile"])
         obs.publish("executor.task_done", task=index, campaign=task.spec.kind, p=task.spec.p)
+        publish_outcome(index, payload, spec=task.spec, target=task.recipe.target_spec)
 
     def _maybe_beat(self, index: int, entry: _Running, attempt: int) -> None:
         """Emit a liveness beat for a still-running worker when one is due."""

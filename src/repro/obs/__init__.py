@@ -246,7 +246,9 @@ def apply_worker_config(config: WorkerObsConfig) -> None:
     Replaces any instruments inherited from the driver through ``fork``
     with fresh ones, so a worker never re-ships driver-recorded events,
     and detaches the progress sink (events cannot cross the process
-    boundary; the driver publishes executor-level progress instead).
+    boundary; the driver publishes executor-level progress — including
+    per-task ``estimate`` outcomes, on delivery — instead, so estimator
+    telemetry has exactly one source regardless of pool shape).
     """
     set_verbosity(config.verbosity)
     configure(

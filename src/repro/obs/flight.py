@@ -14,6 +14,9 @@ campaign failure/degrade/abort or on ``SIGUSR1``, atomically dumps a
 * the attached :class:`~repro.obs.MetricsRegistry` snapshot,
 * the profiler hot-spot table (when ``--profile`` is on),
 * the active chaos plan and its per-site fire counts,
+* the installed estimator tracker's per-stratum posterior document
+  (:mod:`repro.obs.estimator`), so a postmortem carries the statistical
+  state of the campaign at death, not just its mechanics,
 * executor completeness accounting when the executor triggered the dump,
 * environment (python/numpy/platform/pid) and the schema stamp.
 
@@ -146,6 +149,8 @@ class FlightRecorder:
         profiler = obs.profiler()
         chaos = sys.modules.get("repro.exec.chaos")
         injector = chaos.active() if chaos is not None else None
+        estimator_mod = sys.modules.get("repro.obs.estimator")
+        estimator = estimator_mod.active() if estimator_mod is not None else None
         with self._lock:
             events = list(self._ring)
             dropped = self._dropped
@@ -172,6 +177,7 @@ class FlightRecorder:
                 "chaos": None
                 if injector is None
                 else {"plan": injector.plan.describe(), "fired": injector.fired()},
+                "estimator": estimator.estimates() if estimator is not None else None,
                 "executor": dict(stats) if stats is not None else None,
             }
         )

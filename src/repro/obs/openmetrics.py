@@ -45,12 +45,15 @@ PREFIX = "repro_"
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 #: one sample line: name, optional {labels}, value (no timestamps exported)
+#: braces/commas/quotes are all legal *inside* a quoted label value, so
+#: the label block is a sequence of quoted strings and non-quote filler —
+#: not simply "anything but braces"
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r'(?:\{(?P<labels>(?:[^"{}]|"(?:[^"\\]|\\.)*")*)\})?'
     r" (?P<value>[^ ]+)$"
 )
-_LABEL_RE = re.compile(r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+_LABEL_RE = re.compile(r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
 
 
 class OpenMetricsError(ValueError):
@@ -106,13 +109,27 @@ def _bucket_label_block(labels: Mapping[str, str] | None, le: str) -> str:
     return "{" + ",".join(parts) + "}"
 
 
-def render_openmetrics(snapshot: Mapping | None, labels: Mapping[str, str] | None = None) -> str:
+def render_openmetrics(
+    snapshot: Mapping | None,
+    labels: Mapping[str, str] | None = None,
+    families: list | None = None,
+) -> str:
     """Render a ``MetricsRegistry.snapshot()`` as OpenMetrics text.
 
     ``labels`` (e.g. ``{"campaign": fingerprint, "pid": "1234"}``) are
     attached to every sample. An empty or ``None`` snapshot renders a
     valid, empty exposition (just the ``# EOF`` terminator), so a server
     whose registry is detached still serves a scrapeable payload.
+
+    ``families`` appends extra metric families whose samples carry
+    *per-sample* labels — the registry's snapshot attaches one label set
+    to everything, which cannot express a per-stratum gauge. Each entry
+    is ``{"name": <registry-style name>, "type": "counter"|"gauge",
+    "samples": [(sample_labels, value), ...]}``; sample labels are merged
+    over the shared ``labels`` (sample keys win) and counters get the
+    ``_total`` suffix exactly like snapshot counters do. A family whose
+    name collides with a snapshot metric raises — the strict validator
+    would reject the redeclaration anyway, better to fail at render time.
     """
     snapshot = snapshot or {}
     lines: list[str] = []
@@ -141,19 +158,45 @@ def render_openmetrics(snapshot: Mapping | None, labels: Mapping[str, str] | Non
         lines.append(f"{family}_bucket{_bucket_label_block(labels, '+Inf')} {cumulative}")
         lines.append(f"{family}_sum{block} {_format_value(payload['sum'])}")
         lines.append(f"{family}_count{block} {int(payload['count'])}")
+    declared = {
+        metric_name(name)
+        for section in ("counters", "gauges", "histograms")
+        for name in (snapshot.get(section) or {})
+    }
+    for extra in families or ():
+        family = metric_name(extra["name"])
+        kind = extra.get("type", "gauge")
+        if kind not in ("counter", "gauge"):
+            raise OpenMetricsError(f"extra family {family!r} has unsupported type {kind!r}")
+        if family in declared:
+            raise OpenMetricsError(f"extra family {family!r} collides with a snapshot metric")
+        declared.add(family)
+        lines.append(f"# TYPE {family} {kind}")
+        sample_name = f"{family}_total" if kind == "counter" else family
+        for sample_labels, value in extra.get("samples") or ():
+            merged = {**(labels or {}), **(sample_labels or {})}
+            lines.append(f"{sample_name}{_label_block(merged)} {_format_value(value)}")
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 
 
 def _parse_labels(text: str | None) -> dict[str, str]:
+    # label values may contain escaped quotes, commas, and braces, so the
+    # block is scanned pair by pair rather than split on commas
     if not text:
         return {}
     labels: dict[str, str] = {}
-    for item in text.split(","):
-        match = _LABEL_RE.match(item)
+    position = 0
+    while position < len(text):
+        match = _LABEL_RE.match(text, position)
         if match is None:
-            raise OpenMetricsError(f"malformed label pair {item!r}")
+            raise OpenMetricsError(f"malformed label pair {text[position:]!r}")
         labels[match.group("name")] = match.group("value")
+        position = match.end()
+        if position < len(text):
+            if text[position] != ",":
+                raise OpenMetricsError(f"malformed label separator {text[position:]!r}")
+            position += 1
     return labels
 
 

@@ -3,14 +3,18 @@
 A long fault-injection campaign should be watchable while it runs, not
 just autopsied from artifacts afterwards. :class:`StatusServer` runs a
 :class:`http.server.ThreadingHTTPServer` on a background daemon thread
-and exposes four read-only endpoints:
+and exposes read-only endpoints:
 
 * ``/metrics`` — the attached :class:`~repro.obs.MetricsRegistry`
   snapshot rendered in the OpenMetrics text format
-  (:mod:`repro.obs.openmetrics`), scrapeable by Prometheus;
+  (:mod:`repro.obs.openmetrics`), scrapeable by Prometheus — plus the
+  per-stratum posterior families when an
+  :class:`~repro.obs.estimator.EstimatorTracker` is attached;
 * ``/status`` — one JSON document with executor progress, per-worker
   heartbeat ages, retry/chaos/journal accounting, and an ETA derived
   from the windowed task-completion rate;
+* ``/estimates`` — the live per-stratum Beta-posterior document (means,
+  credible intervals, CI half-widths vs. the stopping target);
 * ``/events`` — a Server-Sent-Events bridge over the live
   :class:`~repro.obs.progress.ProgressSink` stream (one ``data:`` frame
   per progress event, with keepalive comments while the campaign is
@@ -306,6 +310,13 @@ class StatusServer:
     sse:
         The :class:`SseSink` backing ``/events`` (optional — the endpoint
         returns 503 without one).
+    estimator:
+        The :class:`~repro.obs.estimator.EstimatorTracker` backing
+        ``/estimates`` (optional — the endpoint returns 503 without one).
+        Its per-stratum posterior families are also appended to
+        ``/metrics`` and its document embedded in ``/status``, so
+        ``repro top`` sees the same estimates from a URL and a JSONL
+        replay.
     labels:
         Labels attached to every ``/metrics`` sample (campaign id, pid).
     keepalive_s:
@@ -321,11 +332,13 @@ class StatusServer:
         sse: SseSink | None = None,
         labels: Mapping[str, str] | None = None,
         keepalive_s: float = 15.0,
+        estimator=None,
     ) -> None:
         self.host = host
         self.requested_port = port
         self.tracker = tracker
         self.sse = sse
+        self.estimator = estimator
         self.labels = dict(labels or {})
         self.keepalive_s = keepalive_s
         self._httpd: ThreadingHTTPServer | None = None
@@ -394,10 +407,19 @@ class StatusServer:
 
         registry = obs.metrics()
         snapshot = registry.snapshot() if registry is not None else None
-        return render_openmetrics(snapshot, labels=self.labels or None)
+        families = self.estimator.metric_families() if self.estimator is not None else None
+        return render_openmetrics(snapshot, labels=self.labels or None, families=families)
+
+    def estimates_payload(self) -> dict | None:
+        """The ``/estimates`` document, or ``None`` with no estimator attached."""
+        if self.estimator is None:
+            return None
+        return {**artifact_stamp(), **self.estimator.estimates()}
 
     def status_payload(self) -> dict:
         document = self.tracker.status() if self.tracker is not None else {"tracker": None}
+        if self.estimator is not None:
+            document["estimator"] = self.estimator.estimates()
         document["server"] = {
             "url": self.url,
             "uptime_s": (time.time() - self._started_wall) if self._started_wall else 0.0,
@@ -441,13 +463,21 @@ def _make_handler(server: StatusServer):
                     self._send_text(server.metrics_payload(), _OPENMETRICS_CONTENT_TYPE)
                 elif path == "/status":
                     self._send_json(server.status_payload())
+                elif path == "/estimates":
+                    document = server.estimates_payload()
+                    if document is None:
+                        self._send_json({"error": "no estimator attached"}, code=503)
+                    else:
+                        self._send_json(document)
                 elif path == "/events":
                     self._serve_events()
                 elif path == "/":
                     self._send_json(
                         {
                             **artifact_stamp(),
-                            "endpoints": ["/metrics", "/status", "/events", "/healthz"],
+                            "endpoints": [
+                                "/metrics", "/status", "/estimates", "/events", "/healthz",
+                            ],
                         }
                     )
                 else:

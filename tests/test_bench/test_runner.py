@@ -18,6 +18,7 @@ REQUIRED_GROUPS = (
     "bench_parallel_sweep",
     "bench_fig2_mlp_sweep",
     "bench_completeness",
+    "bench_estimator",
 )
 
 REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")

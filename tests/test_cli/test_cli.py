@@ -426,6 +426,65 @@ class TestObservabilityFlags:
         assert "[adaptive.progress]" in capsys.readouterr().err
 
 
+class TestStoppingMonitorFlag:
+    """--target-halfwidth: advisory convergence reporting, passivity."""
+
+    def test_flags_parse_on_campaign_commands(self):
+        for command in ("campaign", "sweep", "layerwise"):
+            args = build_parser().parse_args(
+                [command, "x.npz", "--workbench", "mlp-moons",
+                 "--target-halfwidth", "0.05", "--target-mass", "0.9"]
+            )
+            assert args.target_halfwidth == 0.05
+            assert args.target_mass == 0.9
+
+    def test_invalid_target_rejected_before_any_work(self, golden_checkpoint):
+        with pytest.raises(SystemExit, match="target-halfwidth"):
+            main(
+                ["campaign", golden_checkpoint, "--workbench", "mlp-moons",
+                 "--p", "1e-2", "--samples", "12", "--target-halfwidth", "0.9"]
+            )
+
+    def test_campaign_prints_the_stopping_report(self, golden_checkpoint, capsys):
+        code = main(
+            ["campaign", golden_checkpoint, "--workbench", "mlp-moons",
+             "--p", "1e-2", "--samples", "40", "--target-halfwidth", "0.4"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "stopping monitor: target halfwidth 0.4 at 95% credible mass" in err
+        assert "crossed at task 0" in err
+
+    def test_sweep_reports_one_stratum_per_point(self, golden_checkpoint, capsys):
+        code = main(
+            ["sweep", golden_checkpoint, "--workbench", "mlp-moons",
+             "--points", "5", "--samples", "20", "--target-halfwidth", "0.45"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        strata = [line for line in err.splitlines() if "halfwidth" in line and "p=" in line]
+        assert len(strata) == 5
+
+    def test_monitored_campaign_output_identical_to_bare(self, golden_checkpoint, capsys):
+        argv = [
+            "campaign", golden_checkpoint, "--workbench", "mlp-moons",
+            "--p", "1e-3", "--samples", "30",
+        ]
+        assert main(argv) == 0
+        bare = capsys.readouterr().out
+        assert main(argv + ["--target-halfwidth", "0.1", "--target-mass", "0.9"]) == 0
+        monitored = capsys.readouterr().out
+
+        def result_rows(text):
+            # statistical columns only — duration/throughput vary run to run
+            rows = [line.split()[:6] for line in text.splitlines()
+                    if line.strip() and line.split()[0] == "0.001"]
+            golden = [line for line in text.splitlines() if line.startswith("golden error:")]
+            return rows + [golden]
+
+        assert result_rows(monitored) == result_rows(bare)
+
+
 class TestProfileFlag:
     """--profile: hot-spot table, collapsed-stack export, composition."""
 

@@ -10,6 +10,7 @@ import functools
 import pytest
 
 import repro.obs as obs
+from repro.obs import estimator as estimator_mod
 from repro.core import BayesianFaultInjector
 from repro.exec import InjectorRecipe
 from repro.faults import TargetSpec
@@ -21,8 +22,10 @@ from repro.utils.logging import get_verbosity, set_verbosity
 def clean_obs():
     verbosity = get_verbosity()
     obs.reset()
+    estimator_mod.uninstall()
     yield
     obs.reset()
+    estimator_mod.uninstall()
     set_verbosity(verbosity)
 
 

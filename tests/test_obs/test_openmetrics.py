@@ -9,6 +9,8 @@ families, non-cumulative buckets) so drift fails loudly in CI.
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 import repro.obs as obs
 from repro.obs.openmetrics import (
@@ -183,3 +185,91 @@ class TestParseSamples:
 
     def test_infinite_sample_value(self):
         assert parse_samples("repro_g +Inf\n")["repro_g"] == math.inf
+
+
+class TestExtraFamilies:
+    """The ``families`` hook: per-sample-labelled gauges and counters."""
+
+    def test_families_render_with_per_sample_labels(self):
+        text = render_openmetrics(
+            {"counters": {"evaluations": 3}},
+            labels={"pid": "9"},
+            families=[
+                {
+                    "name": "stratum_mean",
+                    "type": "gauge",
+                    "samples": [({"layer": "fc1"}, 0.25), ({"layer": "fc2"}, 0.5)],
+                },
+                {"name": "strata_converged", "type": "counter", "samples": [({}, 2)]},
+            ],
+        )
+        families = validate_openmetrics(text)
+        assert families["repro_stratum_mean"] == "gauge"
+        assert families["repro_strata_converged"] == "counter"
+        samples = parse_samples(text)
+        assert samples["repro_strata_converged_total"] == 2
+        # shared labels merge under the per-sample ones
+        assert 'repro_stratum_mean{layer="fc1",pid="9"} 0.25' in text
+
+    def test_family_collision_with_snapshot_rejected(self):
+        with pytest.raises(OpenMetricsError, match="collides"):
+            render_openmetrics(
+                {"gauges": {"x": 1.0}},
+                families=[{"name": "x", "type": "gauge", "samples": [({}, 2.0)]}],
+            )
+
+    def test_unsupported_family_type_rejected(self):
+        with pytest.raises(OpenMetricsError, match="unsupported type"):
+            render_openmetrics(
+                None, families=[{"name": "h", "type": "histogram", "samples": []}]
+            )
+
+    @pytest.mark.parametrize("value", [math.nan, math.inf, -math.inf])
+    def test_non_finite_gauge_samples_survive_per_spec(self, value):
+        # gauges may legally carry NaN/±Inf; the exposition must still
+        # validate and the value must parse back to the same float
+        text = render_openmetrics(
+            None, families=[{"name": "g", "type": "gauge", "samples": [({}, value)]}]
+        )
+        validate_openmetrics(text)
+        parsed = parse_samples(text)["repro_g"]
+        assert parsed == value or (math.isnan(parsed) and math.isnan(value))
+
+
+class TestAdversarialLabels:
+    """Property: any label value renders to a payload the strict validator
+    accepts — quotes, backslashes, newlines, braces, and commas are all
+    legal inside a quoted label value once escaped."""
+
+    @given(value=st.text(max_size=40), shared=st.text(max_size=10))
+    @settings(max_examples=200, deadline=None)
+    def test_render_validate_roundtrip(self, value, shared):
+        text = render_openmetrics(
+            {"counters": {"n": 1}},
+            labels={"pid": shared},
+            families=[
+                {"name": "g", "type": "gauge", "samples": [({"layer": value}, 0.5)]}
+            ],
+        )
+        families = validate_openmetrics(text)
+        assert families == {"repro_n": "counter", "repro_g": "gauge"}
+
+    @pytest.mark.parametrize(
+        "value", ['a"b', "back\\slash", "new\nline", "a,b", '{x="y"}', ",,,", 'le="0.1"', ""]
+    )
+    def test_known_nasty_values_validate(self, value):
+        text = render_openmetrics(
+            None, families=[{"name": "g", "type": "gauge", "samples": [({"layer": value}, 1.0)]}]
+        )
+        validate_openmetrics(text)
+
+    @given(value=st.text(max_size=40))
+    @settings(max_examples=200, deadline=None)
+    def test_escaping_is_reversible(self, value):
+        import re
+
+        escaped = escape_label_value(value)
+        unescaped = re.sub(
+            r"\\(.)", lambda m: "\n" if m.group(1) == "n" else m.group(1), escaped
+        )
+        assert unescaped == value

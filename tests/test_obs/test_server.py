@@ -175,7 +175,47 @@ class TestEndpoints:
 
     def test_index_lists_endpoints(self, server):
         _, _, body = _get(server.url)
-        assert set(json.loads(body)["endpoints"]) == {"/metrics", "/status", "/events", "/healthz"}
+        assert set(json.loads(body)["endpoints"]) == {
+            "/metrics", "/status", "/estimates", "/events", "/healthz",
+        }
+
+    def test_estimates_without_estimator_is_503(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/estimates")
+        assert excinfo.value.code == 503
+        assert "no estimator" in excinfo.value.read().decode("utf-8")
+
+    def test_estimates_and_status_expose_the_tracker_document(self):
+        from repro.obs.estimator import EstimatorTracker, StoppingTarget
+
+        estimator = EstimatorTracker(target=StoppingTarget(0.1))
+        estimator.emit(
+            ProgressEvent(
+                kind="estimate",
+                payload={
+                    "task": 0, "layer": "fc1", "bitfield": "all", "p": 1e-2,
+                    "trials": 40, "degraded_trials": [1, 5],
+                },
+            )
+        )
+        with StatusServer(port=0, tracker=StatusTracker(), estimator=estimator) as server:
+            status, content_type, body = _get(server.url + "/estimates")
+            assert status == 200 and content_type.startswith("application/json")
+            document = json.loads(body)
+            assert document["schema_version"] >= 1  # artifact-stamped
+            assert document["tasks"] == 1
+            assert document["strata"][0]["layer"] == "fc1"
+            # /status embeds the same document, so `repro top` renders it
+            # identically from a URL or a JSONL replay
+            _, _, status_body = _get(server.url + "/status")
+            embedded = json.loads(status_body)["estimator"]
+            assert embedded == estimator.estimates()
+            # /metrics carries the per-stratum families, validator-clean
+            _, _, metrics_body = _get(server.url + "/metrics")
+            families = validate_openmetrics(metrics_body)
+            assert families["repro_stratum_ci_halfwidth"] == "gauge"
+            assert families["repro_strata_converged"] == "counter"
+            assert 'layer="fc1"' in metrics_body
 
     def test_events_streams_published_frames(self, server):
         frames = []
@@ -294,20 +334,28 @@ class TestLiveCampaign:
         obs.reset()
         bare = ParallelCampaignExecutor(recipe, workers=2).run(list(specs))
 
+        from repro.obs import estimator as estimator_mod
+
         obs.reset()
         tracker = StatusTracker()
         sse = SseSink()
-        obs.configure(metrics=True, tracer=True, progress=TeeSink(tracker, sse))
+        estimator = estimator_mod.install(
+            estimator_mod.EstimatorTracker(target=estimator_mod.StoppingTarget(0.1))
+        )
+        obs.configure(metrics=True, tracer=True, progress=TeeSink(tracker, sse, estimator))
         recorder = flight.install(flight.FlightRecorder())
         try:
-            with StatusServer(port=0, tracker=tracker, sse=sse) as server:
+            with StatusServer(port=0, tracker=tracker, sse=sse, estimator=estimator) as server:
                 instrumented = ParallelCampaignExecutor(recipe, workers=2).run(list(specs))
                 _get(server.url + "/metrics")
                 _get(server.url + "/status")
+                _get(server.url + "/estimates")
         finally:
             flight.uninstall()
+            estimator_mod.uninstall()
 
         assert recorder.recorded > 0  # the instruments really were live
+        assert estimator.contributions == len(specs)
         for bare_result, instrumented_result in zip(bare, instrumented):
             assert np.array_equal(
                 bare_result.chains.matrix(), instrumented_result.chains.matrix()
