@@ -17,6 +17,9 @@ plus their warmup/repeat protocol. Group names match the historical
 * ``bench_fastpath`` — the faulted-forward fast path (prefix caching +
   batched evaluation + sparse apply) against the standard path on a
   ResNet-18 layerwise campaign;
+* ``bench_mcmc`` — delta-forward chain campaigns against the standard
+  per-proposal forward, across the three proposal locality regimes
+  (same-layer, cross-layer, full-surface);
 * ``bench_estimator`` — the estimator tracker's fold throughput over 10k
   synthetic task outcomes and the query-side document/exposition builds.
 
@@ -268,6 +271,80 @@ def _fastpath_suite(quick: bool, seed: int, cache_dir: str | None) -> dict[str, 
     }
 
 
+def _mcmc_suite(quick: bool, seed: int, cache_dir: str | None) -> dict[str, CaseSpec]:
+    """Delta-forward chain campaigns against the standard per-proposal path.
+
+    Three proposal locality regimes, each as a fast/standard pair whose
+    median ratio is the speedup the delta engine buys (results are
+    bit-identical, so only wall-clock differs):
+
+    * *same-layer* — MCMC confined to a deep ResNet-18 layer; every
+      proposal diff lands at the layer's chain segment, so the delta path
+      reuses almost the whole network per round (the headline case);
+    * *cross-layer* — targets at two depths; the reusable prefix per
+      proposal alternates between the shallow and deep cut;
+    * *full-surface* — a tempered campaign over every MLP parameter; the
+      delta often spans most of the (short) chain, so the win comes mainly
+      from round batching — the fallback regime.
+    """
+    from repro.core import BayesianFaultInjector
+    from repro.faults import TargetSpec
+
+    data = workloads.resnet_image_data(quick)
+    resnet = workloads.golden_resnet_images(quick, cache_dir, data=data)
+    resnet_x, resnet_y = workloads.resnet_image_eval(quick, data=data)
+    mlp = workloads.golden_mlp_moons(cache_dir)
+    mlp_x, mlp_y = workloads.moons_eval_batch()
+
+    chains = 2
+    steps = 10 if quick else 40
+    flip_p = 1e-4
+
+    def pair(model, x, y, spec):
+        fast = BayesianFaultInjector(model, x, y, spec=spec, seed=seed, fast=True)
+        standard = BayesianFaultInjector(model, x, y, spec=spec, seed=seed, fast=False)
+        return fast, standard
+
+    same_fast, same_standard = pair(
+        resnet, resnet_x, resnet_y, TargetSpec.single_layer("stages.3.1.conv2")
+    )
+    cross_fast, cross_standard = pair(
+        resnet, resnet_x, resnet_y,
+        TargetSpec.weights_and_biases(
+            include_layers=("stages.2.0.conv1", "stages.3.1.conv2")
+        ),
+    )
+    full_fast, full_standard = pair(
+        mlp, mlp_x, mlp_y, TargetSpec.weights_and_biases()
+    )
+
+    def mcmc(injector):
+        return injector.mcmc_campaign(flip_p, chains=chains, steps=steps)
+
+    def tempered(injector):
+        return injector.tempered_campaign(flip_p, beta=8.0, chains=chains, steps=steps)
+
+    repeats = 3 if quick else 5
+    return {
+        "resnet_chain_fast": CaseSpec(functools.partial(mcmc, same_fast), repeats=repeats),
+        "resnet_chain_standard": CaseSpec(
+            functools.partial(mcmc, same_standard), repeats=repeats
+        ),
+        "resnet_cross_layer_fast": CaseSpec(
+            functools.partial(mcmc, cross_fast), repeats=repeats
+        ),
+        "resnet_cross_layer_standard": CaseSpec(
+            functools.partial(mcmc, cross_standard), repeats=repeats
+        ),
+        "mlp_full_surface_fast": CaseSpec(
+            functools.partial(tempered, full_fast), repeats=repeats
+        ),
+        "mlp_full_surface_standard": CaseSpec(
+            functools.partial(tempered, full_standard), repeats=repeats
+        ),
+    }
+
+
 def _estimator_suite(quick: bool, seed: int, cache_dir: str | None) -> dict[str, CaseSpec]:
     from repro.obs.estimator import EstimatorTracker, StoppingTarget
     from repro.obs.progress import ProgressEvent
@@ -317,6 +394,7 @@ SUITES: dict[str, Callable[[bool, int, str | None], dict[str, CaseSpec]]] = {
     "bench_fig2_mlp_sweep": _fig2_suite,
     "bench_completeness": _completeness_suite,
     "bench_fastpath": _fastpath_suite,
+    "bench_mcmc": _mcmc_suite,
     "bench_estimator": _estimator_suite,
 }
 

@@ -75,6 +75,7 @@ from repro.exec import (
     JournalError,
     McmcSpec,
     ParallelCampaignExecutor,
+    TemperedSpec,
     TemperingSpec,
     campaign_fingerprint,
 )
@@ -286,7 +287,8 @@ def _needs_executor(args) -> bool:
 def _add_fast(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fast", action=argparse.BooleanOptionalAction, default=None,
-        help="fast faulted-forward path (prefix caching + batched evaluation); "
+        help="fast faulted-forward path (prefix caching + batched evaluation; "
+             "delta-forward lockstep chains for mcmc/tempered/tempering); "
              "bit-identical to the standard path. Default: auto-enable when "
              "supported; --fast requires it (error if unavailable), --no-fast "
              "forces the standard path",
@@ -551,12 +553,17 @@ def _cmd_train(args) -> int:
 
 def _campaign_spec_from_args(args):
     steps = max(4, args.samples // args.chains)
+    fast = getattr(args, "fast", None)
     if args.method == "forward":
         return ForwardSpec(p=args.p, samples=args.samples, chains=args.chains)
     if args.method == "mcmc":
-        return McmcSpec(p=args.p, chains=args.chains, steps=steps)
+        return McmcSpec(p=args.p, chains=args.chains, steps=steps, fast=fast)
+    if args.method == "tempered":
+        return TemperedSpec(
+            p=args.p, beta=args.beta, chains=args.chains, steps=steps, fast=fast
+        )
     if args.method == "tempering":
-        return TemperingSpec(p=args.p, chains=args.chains, sweeps=steps)
+        return TemperingSpec(p=args.p, chains=args.chains, sweeps=steps, fast=fast)
     return AdaptiveSpec(p=args.p, chains=args.chains, max_steps=args.samples)
 
 
@@ -581,8 +588,9 @@ def _cmd_campaign(args) -> int:
         _print_journal_status(journal, executor)
         _print_executor_summary(executor)
         return 1
-    if isinstance(campaign, tuple):  # tempering: (result, weighted error)
-        campaign = campaign[0]
+    if isinstance(campaign, tuple):  # tempered: (result, weighted error)
+        campaign, weighted = campaign
+        print(f"importance-weighted prior error: {weighted:.2%}")
     print(campaign)
     print(format_table([campaign.summary_row()]))
     if campaign.completeness is not None:
@@ -793,7 +801,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--samples", type=int, default=200)
     campaign.add_argument("--chains", type=int, default=2)
     campaign.add_argument(
-        "--method", choices=("forward", "mcmc", "adaptive", "tempering"), default="forward"
+        "--method",
+        choices=("forward", "mcmc", "tempered", "adaptive", "tempering"),
+        default="forward",
+    )
+    campaign.add_argument(
+        "--beta", type=float, default=8.0,
+        help="inverse temperature for --method tempered (failure-biased walk, "
+             "importance-reweighted back to the prior)",
     )
     campaign.add_argument(
         "--workers", type=int, default=1, help="worker processes for campaign execution"

@@ -340,14 +340,46 @@ class BatchedNetworkEvaluator:
         if not configurations:
             raise ValueError("need at least one configuration")
         k = len(configurations)
-        errstate = guard.capture() if guard is not None else np.errstate(all="ignore")
-        with no_grad(), errstate:
-            state = _State(self._prefix_activation(), diverged=False)
-            for step in self._steps[self._cut :]:
-                state = self._run_module(step.module, step.name, state, configurations)
+        state = self.run_segments(
+            configurations, self._prefix_activation(), self._cut, diverged=False, guard=guard
+        )
         if not state.diverged:
             return np.broadcast_to(state.data, (k,) + state.data.shape)
         return state.data
+
+    def run_segments(
+        self,
+        configurations: list[FaultConfiguration],
+        activation: np.ndarray,
+        start: int,
+        diverged: bool,
+        guard=None,
+        boundaries: list[_State] | None = None,
+    ) -> _State:
+        """Run ``steps[start:]`` over an explicit entry activation.
+
+        The delta-forward engine's entry point (:mod:`repro.core.delta`):
+        ``activation`` is the array entering ``steps[start]`` — shared
+        ``(B, ...)`` when ``diverged`` is False, or stacked ``(k, B, ...)``
+        with rows aligned to ``configurations`` otherwise. The same
+        bit-identity argument as :meth:`evaluate_logits` applies segment by
+        segment, so per-row results equal sequential faulted forwards
+        whenever ``activation`` itself is bit-identical to the sequential
+        activation entering ``start``. When ``boundaries`` is a list, the
+        state entering each subsequent step (ending with the logits state)
+        is appended in step order. Returns the final state; its ``data``
+        holds the logits, still shared when no faulted layer was crossed.
+        """
+        if not configurations:
+            raise ValueError("need at least one configuration")
+        errstate = guard.capture() if guard is not None else np.errstate(all="ignore")
+        with no_grad(), errstate:
+            state = _State(activation, diverged)
+            for step in self._steps[start:]:
+                state = self._run_module(step.module, step.name, state, configurations)
+                if boundaries is not None:
+                    boundaries.append(state)
+        return state
 
     def evaluate(self, configurations: list[FaultConfiguration]) -> np.ndarray:
         """Classification error per configuration, shape ``(k,)``.

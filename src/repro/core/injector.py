@@ -172,6 +172,7 @@ class BayesianFaultInjector:
         self.fast = fast
         self._fast_prefix = _UNSET
         self._fast_evaluator = _UNSET
+        self._fast_delta = _UNSET
         if fast and not self._parameter_only():
             raise ValueError(
                 "fast=True requires parameter-only fault surfaces; transient "
@@ -251,6 +252,51 @@ class BayesianFaultInjector:
                         ) from exc
             self._fast_evaluator = evaluator
         return self._fast_evaluator
+
+    def _delta_engine(self):
+        """Lazily built delta-forward chain engine, or ``None`` when unavailable.
+
+        Shares the injector's :class:`BatchedNetworkEvaluator` (one chain
+        decomposition + verification per injector); the engine itself is
+        stateless across campaigns — each sampler run opens fresh sessions.
+        """
+        if self._fast_delta is _UNSET:
+            engine = None
+            evaluator = self._batched_evaluator()
+            if evaluator is not None:
+                from repro.core.delta import DeltaChainEvaluator
+
+                engine = DeltaChainEvaluator(self, evaluator)
+            self._fast_delta = engine
+        return self._fast_delta
+
+    def _chain_engine(self, spec_fast: bool | None):
+        """Delta engine for one chain campaign, honouring the spec override.
+
+        ``spec_fast`` wins over the injector-level ``fast`` knob when set:
+        ``False`` forces the standard per-proposal path, ``True`` requires
+        the delta engine (raising when unavailable), ``None`` inherits the
+        injector default (auto-engage when supported).
+        """
+        effective = self.fast if spec_fast is None else spec_fast
+        if effective is False:
+            return None
+        if not self._parameter_only():
+            if effective is True:
+                raise ValueError(
+                    "fast=True requires parameter-only fault surfaces; transient "
+                    "(activation/input) injection redraws faults per forward pass "
+                    "and cannot reuse cached activations"
+                )
+            return None
+        engine = self._delta_engine()
+        if engine is None and effective is True:
+            raise ValueError(
+                "fast=True but delta-forward chain evaluation is unavailable "
+                "(the model does not decompose into a verified forward chain, "
+                "or the injector was built with fast=False)"
+            )
+        return engine
 
     def make_statistic(
         self,
@@ -428,11 +474,14 @@ class BayesianFaultInjector:
         discard_fraction: float = 0.25,
         criterion: CompletenessCriterion | None = None,
         stream: str = "mcmc",
+        fast: bool | None = None,
     ) -> CampaignResult:
         """Multi-chain Metropolis–Hastings targeting the fault prior.
 
         The proposal mixes single-bit toggles (local) with block prior
         resampling (global); weights tune the mixing-speed experiments.
+        ``fast`` overrides the injector's delta-forward knob for this
+        campaign (results are bit-identical either way).
         """
         return self.run(
             McmcSpec(
@@ -445,6 +494,7 @@ class BayesianFaultInjector:
                 discard_fraction=discard_fraction,
                 criterion=criterion,
                 stream=stream,
+                fast=fast,
             )
         )
 
@@ -457,6 +507,7 @@ class BayesianFaultInjector:
         fault_model: FaultModel | None = None,
         discard_fraction: float = 0.25,
         stream: str = "tempered",
+        fast: bool | None = None,
     ) -> tuple[CampaignResult, float]:
         """Failure-biased MCMC; returns (campaign, importance-weighted error).
 
@@ -473,6 +524,7 @@ class BayesianFaultInjector:
                 fault_model=fault_model,
                 discard_fraction=discard_fraction,
                 stream=stream,
+                fast=fast,
             )
         )
 
@@ -485,6 +537,7 @@ class BayesianFaultInjector:
         fault_model: FaultModel | None = None,
         discard_fraction: float = 0.25,
         stream: str = "tempering",
+        fast: bool | None = None,
     ) -> CampaignResult:
         """Replica-exchange campaign; the cold rung samples the fault prior.
 
@@ -502,6 +555,7 @@ class BayesianFaultInjector:
                 fault_model=fault_model,
                 discard_fraction=discard_fraction,
                 stream=stream,
+                fast=fast,
             )
         )
 
@@ -619,6 +673,7 @@ class BayesianFaultInjector:
             proposal,
             statistic,
             initial=lambda r: FaultConfiguration.sample(self.parameter_targets, model, r),
+            engine=self._chain_engine(spec.fast),
         )
         chain_set = sampler.run(
             chains=spec.chains, steps=spec.steps, rng=self._rng_factory.stream(f"{stream}:p={p!r}")
@@ -635,13 +690,17 @@ class BayesianFaultInjector:
         p, beta, stream = spec.p, spec.beta, spec.stream
         model = self._fault_model(p, spec.fault_model)
         statistic = self.make_statistic(model, self._rng_factory.stream(f"{stream}:transient:p={p!r}"))
-        target = TemperedErrorTarget(model, statistic, beta)
+        # Memoisation requires a deterministic statistic; transient surfaces
+        # redraw faults per evaluation (the sampler's identity shortcut makes
+        # the memo moot here anyway, but keep the contract explicit).
+        target = TemperedErrorTarget(model, statistic, beta, memoize=self._parameter_only())
         proposal = self._make_proposal(model, toggle_weight=0.7, resample_weight=0.3)
         sampler = MetropolisHastingsSampler(
             target,
             proposal,
             statistic,
             initial=lambda r: FaultConfiguration.sample(self.parameter_targets, model, r),
+            engine=self._chain_engine(spec.fast),
         )
         chain_set = sampler.run(
             chains=spec.chains, steps=spec.steps, rng=self._rng_factory.stream(f"{stream}:p={p!r}")
@@ -670,6 +729,7 @@ class BayesianFaultInjector:
             statistic,
             proposal=self._make_proposal(model, toggle_weight=0.8, resample_weight=0.2),
             betas=spec.betas,
+            engine=self._chain_engine(spec.fast),
         )
         result = sampler.run(
             chains=spec.chains, sweeps=spec.sweeps, rng=self._rng_factory.stream(f"{stream}:p={p!r}")

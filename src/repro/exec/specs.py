@@ -119,7 +119,14 @@ class ForwardSpec(CampaignSpec):
 
 @dataclass(frozen=True)
 class McmcSpec(CampaignSpec):
-    """Multi-chain Metropolis–Hastings on the fault prior (``mcmc_campaign``)."""
+    """Multi-chain Metropolis–Hastings on the fault prior (``mcmc_campaign``).
+
+    ``fast`` selects the delta-forward chain path for this campaign:
+    ``None`` inherits the injector's ``fast`` knob (auto-engage when the
+    model supports it), ``True`` requires it (raising when unavailable),
+    ``False`` forces the standard per-proposal forward. Results are
+    bit-identical either way.
+    """
 
     kind: ClassVar[str] = "mcmc"
 
@@ -129,6 +136,7 @@ class McmcSpec(CampaignSpec):
     resample_weight: float = 0.5
     discard_fraction: float = 0.25
     criterion: CompletenessCriterion | None = None
+    fast: bool | None = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -155,6 +163,8 @@ class TemperedSpec(CampaignSpec):
     chains: int = 4
     steps: int = 250
     discard_fraction: float = 0.25
+    #: delta-forward selection (None = inherit injector, see :class:`McmcSpec`)
+    fast: bool | None = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -174,6 +184,8 @@ class TemperingSpec(CampaignSpec):
     sweeps: int = 250
     betas: tuple[float, ...] = (0.0, 5.0, 20.0, 80.0)
     discard_fraction: float = 0.25
+    #: delta-forward selection (None = inherit injector, see :class:`McmcSpec`)
+    fast: bool | None = None
 
     def __post_init__(self) -> None:
         super().__post_init__()

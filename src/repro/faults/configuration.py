@@ -16,6 +16,7 @@ returned array keeps the usual mutable-reference semantics.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, Mapping
 
 import numpy as np
@@ -186,6 +187,46 @@ class FaultConfiguration:
 
     def is_empty(self) -> bool:
         return not any(self.touches(name) for name in self._masks)
+
+    def same_mask(self, other: "FaultConfiguration", name: str) -> bool:
+        """Whether this and ``other`` hold equal masks for one target.
+
+        Storage-aware and non-mutating: sparse/sparse compares canonical
+        forms in O(K), dense/dense compares raw arrays (memory-bandwidth
+        cheap — proposals densify, so this is the hot MCMC diff path), and
+        mixed storage densifies a transient view without converting either
+        operand in place.
+        """
+        a = self._masks.get(name)
+        b = other._masks.get(name)
+        if a is None or b is None:
+            return a is b
+        if a is b:
+            return True
+        if isinstance(a, SparseMask) and isinstance(b, SparseMask):
+            return a == b
+        dense_a = a.to_dense() if isinstance(a, SparseMask) else a
+        dense_b = b.to_dense() if isinstance(b, SparseMask) else b
+        return np.array_equal(dense_a, dense_b)
+
+    def fingerprint(self) -> str:
+        """Content hash of the masks (storage- and access-order-independent).
+
+        Two configurations that compare equal (:meth:`__eq__`) share a
+        fingerprint whether their masks are stored sparse or dense; unlike
+        ``hash(self)`` (identity), the fingerprint follows the *value*, so
+        mutating a mask changes it. Cost is O(K) in flipped bits plus one
+        hash pass — this keys per-configuration statistic memoisation
+        (:class:`~repro.mcmc.targets.TemperedErrorTarget`).
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        for name in sorted(self._masks):
+            sparse = self.sparse(name)
+            digest.update(name.encode("utf-8"))
+            digest.update(np.int64(sparse.elements.size).tobytes())
+            digest.update(np.ascontiguousarray(sparse.elements).tobytes())
+            digest.update(np.ascontiguousarray(sparse.lane_masks).tobytes())
+        return digest.hexdigest()
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, FaultConfiguration):

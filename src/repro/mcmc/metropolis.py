@@ -43,6 +43,12 @@ class MetropolisHastingsSampler:
         Callable ``rng → FaultConfiguration`` drawing the chain's start
         state (typically the fault prior, giving an overdispersed start for
         R̂ to be meaningful).
+    engine:
+        Optional :class:`~repro.core.delta.DeltaChainEvaluator`. When set,
+        :meth:`run` steps every chain in lockstep and scores each round of
+        proposals through one grouped delta forward instead of calling
+        ``statistic`` per candidate — bit-identical to the sequential path
+        (property-tested), order-of-magnitude faster on deep models.
     """
 
     def __init__(
@@ -51,11 +57,13 @@ class MetropolisHastingsSampler:
         proposal,
         statistic: Callable[[FaultConfiguration], float],
         initial: Callable[[np.random.Generator], FaultConfiguration],
+        engine=None,
     ) -> None:
         self.target = target
         self.proposal = proposal
         self.statistic = statistic
         self.initial = initial
+        self.engine = engine
 
     def run_chain(self, steps: int, rng: np.random.Generator, chain_id: int = 0) -> Chain:
         if steps <= 0:
@@ -88,16 +96,86 @@ class MetropolisHastingsSampler:
         return chain
 
     def _log_density(self, configuration: FaultConfiguration, statistic_value: float) -> float:
-        """Evaluate the target density, reusing the known statistic if tempered."""
+        """Evaluate the target density, reusing the known statistic if tempered.
+
+        A target tempered on the sampler's *own* statistic gets the density
+        computed directly from ``statistic_value`` — zero extra forwards. A
+        tempered target built over a *different* callable used to be routed
+        through the same shortcut, silently substituting the sampler's
+        statistic for the target's; now the target is primed with the known
+        value (see :meth:`TemperedErrorTarget.prime` — the two callables
+        must compute the same quantity, which the shortcut always assumed)
+        and then asked for its own density, so one proposal still never
+        costs a second forward pass.
+        """
         beta = getattr(self.target, "beta", None)
         if beta is not None:
-            prior_logp = configuration.log_prob(self.target.fault_model)
-            return prior_logp + beta * statistic_value
+            if getattr(self.target, "statistic", None) is self.statistic:
+                prior_logp = configuration.log_prob(self.target.fault_model)
+                return prior_logp + beta * statistic_value
+            prime = getattr(self.target, "prime", None)
+            if prime is not None:
+                prime(configuration, statistic_value)
         return self.target.log_density(configuration)
 
     def run(self, chains: int, steps: int, rng) -> ChainSet:
-        """Run ``chains`` independent chains from overdispersed starts."""
+        """Run ``chains`` independent chains from overdispersed starts.
+
+        With a delta engine attached the chains advance in lockstep (one
+        grouped forward per proposal round); results are bit-identical to
+        the sequential path either way.
+        """
         if chains <= 0:
             raise ValueError(f"chains must be positive, got {chains}")
+        if self.engine is not None:
+            return self._run_lockstep(chains, steps, rng)
         generators = spawn_generators(rng, chains)
         return ChainSet([self.run_chain(steps, g, chain_id=i) for i, g in enumerate(generators)])
+
+    def _run_lockstep(self, chains: int, steps: int, rng) -> ChainSet:
+        """All chains in lockstep; one grouped delta forward per round.
+
+        Bit-identity with the sequential path holds because every chain
+        draws from its own spawned generator in the same per-chain order
+        (initial draw, then propose / conditional accept draw per step —
+        the parameter-only statistic consumes no randomness), the engine's
+        scored statistics are bit-identical to the standard statistic, and
+        the acceptance arithmetic is expression-for-expression the same.
+        """
+        if steps <= 0:
+            raise ValueError(f"steps must be positive, got {steps}")
+        engine = self.engine
+        generators = spawn_generators(rng, chains)
+        sessions = [engine.session() for _ in range(chains)]
+        states = [self.initial(g) for g in generators]
+        stats = engine.evaluate_round(sessions, states)
+        for session in sessions:
+            session.commit()
+        logds = [self._log_density(s, v) for s, v in zip(states, stats)]
+        chain_objs = [Chain(i) for i in range(chains)]
+        with obs.span("chain.mcmc", chains=chains, steps=steps, lockstep=True):
+            for step in range(steps):
+                proposals = [self.proposal.propose(states[i], generators[i]) for i in range(chains)]
+                candidates = [candidate for candidate, _ in proposals]
+                cand_stats = engine.evaluate_round(sessions, candidates)
+                for i in range(chains):
+                    candidate, log_hastings = proposals[i]
+                    candidate_logd = self._log_density(candidate, cand_stats[i])
+                    log_alpha = candidate_logd - logds[i] + log_hastings
+                    accepted = math.log(generators[i].random()) < log_alpha if log_alpha < 0 else True
+                    if accepted:
+                        states[i], stats[i], logds[i] = candidate, cand_stats[i], candidate_logd
+                        sessions[i].commit()
+                    chain_objs[i].record(stats[i], states[i].total_flips(), accepted=accepted)
+                if obs.progress() is not None and (step + 1) % PROGRESS_EVERY == 0:
+                    for chain in chain_objs:
+                        obs.publish(
+                            "chain.progress",
+                            sampler="mcmc",
+                            chain_id=chain.chain_id,
+                            step=step + 1,
+                            steps=steps,
+                            window_mean=float(chain.recent(PROGRESS_EVERY).mean()),
+                            window_acceptance=chain.recent_acceptance(PROGRESS_EVERY),
+                        )
+        return ChainSet(chain_objs)

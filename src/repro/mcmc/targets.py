@@ -16,6 +16,7 @@ AVF model). Two targets make that tractable:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Callable
 
 from repro.faults.configuration import FaultConfiguration
@@ -41,21 +42,72 @@ class PriorTarget:
 class TemperedErrorTarget:
     """Failure-biased target ∝ prior(e) · exp(β · statistic(e)).
 
-    ``statistic`` must be the same function the sampler evaluates (the
-    chain caches its value per state, so no extra forward passes are
-    spent). β=0 recovers the prior; larger β concentrates the walk on
-    error-causing configurations.
+    Pass the sampler's own ``statistic`` callable where possible — the
+    sampler detects the identity and computes the density from its cached
+    value, spending zero extra forward passes. When the target is built
+    over a *different* (but equivalent) callable, statistic evaluations
+    are memoised per configuration fingerprint (bounded LRU), so repeated
+    density queries of the same configuration — the state/candidate
+    pattern every MH step produces — cost one forward total instead of
+    one per query. β=0 recovers the prior; larger β concentrates the walk
+    on error-causing configurations.
+
+    Memoisation assumes the statistic is a deterministic function of the
+    configuration. That holds for parameter-only campaign statistics;
+    transient (activation/input) statistics redraw faults inside every
+    evaluation and must pass ``memoize=False``.
     """
 
-    def __init__(self, fault_model: FaultModel, statistic: Callable[[FaultConfiguration], float], beta: float) -> None:
+    #: bounded memo size — large enough for any realistic chain window
+    _MEMO_LIMIT = 1024
+
+    def __init__(
+        self,
+        fault_model: FaultModel,
+        statistic: Callable[[FaultConfiguration], float],
+        beta: float,
+        memoize: bool = True,
+    ) -> None:
         if beta < 0:
             raise ValueError(f"beta must be non-negative, got {beta}")
         self.fault_model = fault_model
         self.statistic = statistic
         self.beta = float(beta)
+        self._memo: OrderedDict[str, float] | None = OrderedDict() if memoize else None
+
+    def prime(self, configuration: FaultConfiguration, value: float) -> None:
+        """Record an externally computed statistic value for ``configuration``.
+
+        Samplers that already evaluated their statistic on a proposal call
+        this so :meth:`log_density` never re-runs the forward pass. Only
+        valid when the caller's statistic computes the same quantity as
+        ``self.statistic``; a no-op when memoisation is off.
+        """
+        if self._memo is not None:
+            self._store(configuration.fingerprint(), float(value))
+
+    def _store(self, key: str, value: float) -> None:
+        memo = self._memo
+        memo[key] = value
+        memo.move_to_end(key)
+        while len(memo) > self._MEMO_LIMIT:
+            memo.popitem(last=False)
+
+    def _statistic_value(self, configuration: FaultConfiguration) -> float:
+        if self._memo is None:
+            return self.statistic(configuration)
+        key = configuration.fingerprint()
+        if key in self._memo:
+            self._memo.move_to_end(key)
+            return self._memo[key]
+        value = float(self.statistic(configuration))
+        self._store(key, value)
+        return value
 
     def log_density(self, configuration: FaultConfiguration) -> float:
-        return configuration.log_prob(self.fault_model) + self.beta * self.statistic(configuration)
+        return configuration.log_prob(self.fault_model) + self.beta * self._statistic_value(
+            configuration
+        )
 
     def importance_log_weight(self, configuration: FaultConfiguration, statistic: float) -> float:
         """log w = −β·statistic, reweighting expectations back to the prior."""

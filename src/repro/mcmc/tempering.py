@@ -73,6 +73,13 @@ class ParallelTemperingSampler:
     betas:
         Inverse-temperature ladder; must start at 0 (the prior rung) and be
         strictly increasing.
+    engine:
+        Optional :class:`~repro.core.delta.DeltaChainEvaluator`. When set,
+        :meth:`run` advances all replicas in lockstep and scores each
+        rung's proposals across replicas through one grouped delta forward
+        — bit-identical to the sequential path. (Rungs *within* a replica
+        stay sequential: each rung's acceptance draw conditions the
+        stream the next rung proposes from.)
     """
 
     def __init__(
@@ -82,6 +89,7 @@ class ParallelTemperingSampler:
         statistic: Callable[[FaultConfiguration], float],
         proposal,
         betas: tuple[float, ...] = (0.0, 5.0, 20.0, 80.0),
+        engine=None,
     ) -> None:
         if not targets:
             raise ValueError("ParallelTemperingSampler requires targets")
@@ -97,6 +105,7 @@ class ParallelTemperingSampler:
         self.statistic = statistic
         self.proposal = proposal
         self.betas = betas
+        self.engine = engine
 
     # ------------------------------------------------------------------ #
     # core steps
@@ -158,9 +167,16 @@ class ParallelTemperingSampler:
         return cold, rung_sums / sweeps, swap_attempts, swap_accepts
 
     def run(self, chains: int, sweeps: int, rng) -> TemperingResult:
-        """``chains`` independent replica systems with split streams."""
+        """``chains`` independent replica systems with split streams.
+
+        With a delta engine attached the replicas advance in lockstep (one
+        grouped forward per rung per sweep, batched across replicas);
+        results are bit-identical to the sequential path either way.
+        """
         if chains <= 0:
             raise ValueError(f"chains must be positive, got {chains}")
+        if self.engine is not None:
+            return self._run_lockstep(chains, sweeps, rng)
         generators = spawn_generators(rng, chains)
         cold_chains = []
         rung_totals = np.zeros(len(self.betas))
@@ -174,6 +190,92 @@ class ParallelTemperingSampler:
             accepts += acc
         return TemperingResult(
             cold_chains=ChainSet(cold_chains),
+            rung_means=tuple(float(v) for v in rung_totals / chains),
+            betas=self.betas,
+            swap_acceptance=accepts / attempts if attempts else float("nan"),
+        )
+
+    def _run_lockstep(self, chains: int, sweeps: int, rng) -> TemperingResult:
+        """All replica systems in lockstep; rung proposals batched across them.
+
+        Bit-identity with :meth:`run_chain` per replica holds because each
+        replica keeps its own spawned generator and consumes it in exactly
+        the sequential order (initial rung draws; then per sweep, per rung:
+        propose + conditional accept draw; then the swap draws), the
+        engine's scored statistics are bit-identical to ``statistic``, and
+        every acceptance/aggregation expression is unchanged. Rungs within
+        a replica cannot be batched — the rung's conditional accept draw
+        shifts the stream the next rung proposes from — but the same rung
+        across replicas can, and the initial states all score in one round.
+        """
+        if sweeps <= 0:
+            raise ValueError(f"sweeps must be positive, got {sweeps}")
+        engine = self.engine
+        generators = spawn_generators(rng, chains)
+        n_rungs = len(self.betas)
+        states = [
+            [FaultConfiguration.sample(self.targets, self.fault_model, g) for _ in range(n_rungs)]
+            for g in generators
+        ]
+        sessions = [[engine.session() for _ in range(n_rungs)] for _ in range(chains)]
+        flat_sessions = [session for replica in sessions for session in replica]
+        flat_states = [state for replica in states for state in replica]
+        flat_stats = engine.evaluate_round(flat_sessions, flat_states)
+        for session in flat_sessions:
+            session.commit()
+        stats = [flat_stats[i * n_rungs : (i + 1) * n_rungs] for i in range(chains)]
+        log_priors = [[s.log_prob(self.fault_model) for s in replica] for replica in states]
+
+        colds = [Chain(i) for i in range(chains)]
+        rung_sums = [np.zeros(n_rungs) for _ in range(chains)]
+        attempts = 0
+        accepts = 0
+        for _ in range(sweeps):
+            for rung, beta in enumerate(self.betas):
+                proposals = [
+                    self.proposal.propose(states[i][rung], generators[i]) for i in range(chains)
+                ]
+                cand_stats = engine.evaluate_round(
+                    [sessions[i][rung] for i in range(chains)],
+                    [candidate for candidate, _ in proposals],
+                )
+                for i in range(chains):
+                    candidate, log_hastings = proposals[i]
+                    candidate_stat = cand_stats[i]
+                    candidate_log_prior = candidate.log_prob(self.fault_model)
+                    log_alpha = (
+                        (candidate_log_prior + beta * candidate_stat)
+                        - (log_priors[i][rung] + beta * stats[i][rung])
+                        + log_hastings
+                    )
+                    if log_alpha >= 0 or np.log(generators[i].random()) < log_alpha:
+                        states[i][rung] = candidate
+                        stats[i][rung] = candidate_stat
+                        log_priors[i][rung] = candidate_log_prior
+                        sessions[i][rung].commit()
+            for i in range(chains):
+                low = int(generators[i].integers(0, n_rungs - 1))
+                high = low + 1
+                log_alpha = (self.betas[low] - self.betas[high]) * (stats[i][high] - stats[i][low])
+                attempts += 1
+                if log_alpha >= 0 or np.log(generators[i].random()) < log_alpha:
+                    states[i][low], states[i][high] = states[i][high], states[i][low]
+                    stats[i][low], stats[i][high] = stats[i][high], stats[i][low]
+                    log_priors[i][low], log_priors[i][high] = (
+                        log_priors[i][high],
+                        log_priors[i][low],
+                    )
+                    # Sessions carry the cached activations of their state —
+                    # they swap with it.
+                    sessions[i][low], sessions[i][high] = sessions[i][high], sessions[i][low]
+                    accepts += 1
+                colds[i].record(stats[i][0], states[i][0].total_flips())
+                rung_sums[i] += stats[i]
+        rung_totals = np.zeros(n_rungs)
+        for i in range(chains):
+            rung_totals += rung_sums[i] / sweeps
+        return TemperingResult(
+            cold_chains=ChainSet(colds),
             rung_means=tuple(float(v) for v in rung_totals / chains),
             betas=self.betas,
             swap_acceptance=accepts / attempts if attempts else float("nan"),

@@ -18,6 +18,7 @@ REQUIRED_GROUPS = (
     "bench_parallel_sweep",
     "bench_fig2_mlp_sweep",
     "bench_completeness",
+    "bench_mcmc",
     "bench_estimator",
 )
 

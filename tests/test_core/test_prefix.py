@@ -119,3 +119,78 @@ class TestPrefixCachedForward:
         cached = PrefixCachedForward(trained_mlp, x, [name for name, _ in targets])
         first = cached.prefix_activation()
         assert cached.prefix_activation() is first
+
+
+class TestChainEdgeCases:
+    def test_flatten_step_is_synthetic(self, trained_mlp, moons_eval):
+        steps = forward_chain(trained_mlp)
+        assert steps[0].module is None and steps[0].name == "<flatten>"
+        # The synthetic step owns no parameters and is skipped by ownership
+        assert owning_step(steps, "layers.0.weight") == 1
+        # Flattening an already-2D batch is the identity
+        x = Tensor(moons_eval[0])
+        assert steps[0](x) is x
+        # and a >2D batch reshapes exactly like MLP.forward
+        img = Tensor(np.arange(24, dtype=np.float32).reshape(2, 3, 4))
+        assert steps[0](img).shape == (2, 12)
+
+    def test_first_segment_fault_runs_with_zero_reuse(self, trained_mlp, moons_eval, rng):
+        """A fault in the first real segment leaves nothing to cache, but the
+        delta chain path must still run (from the golden input) bit-identically."""
+        from repro.core import BayesianFaultInjector
+
+        eval_x, eval_y = moons_eval
+        spec = TargetSpec.single_layer("layers.0")
+        slow = BayesianFaultInjector(trained_mlp, eval_x, eval_y, spec=spec, seed=8, fast=False)
+        fast = BayesianFaultInjector(trained_mlp, eval_x, eval_y, spec=spec, seed=8)
+        assert fast._prefix_forward() is None  # zero-reuse regime
+        engine = fast._chain_engine(None)
+        assert engine is not None
+        # The static cut sits right at the first faultable segment (only the
+        # synthetic flatten precedes it): no parameterized prefix to reuse.
+        assert min(engine.owners.values()) == engine.base
+        rs = slow.mcmc_campaign(1e-3, chains=2, steps=8)
+        rf = fast.mcmc_campaign(1e-3, chains=2, steps=8)
+        for cs, cf in zip(rs.chains.chains, rf.chains.chains):
+            assert np.array_equal(cs.values, cf.values)
+            assert np.array_equal(cs.accepts, cf.accepts)
+
+    def test_cache_keyed_by_eval_batch(self, trained_mlp, moons_eval):
+        """A different evaluation batch needs (and gets) a different cache."""
+        eval_x, _ = moons_eval
+        x1 = Tensor(eval_x)
+        x2 = Tensor(eval_x[::-1].copy())
+        targets = resolve_parameter_targets(trained_mlp, TargetSpec.single_layer("layers.2"))
+        names = [name for name, _ in targets]
+        cached1 = PrefixCachedForward(trained_mlp, x1, names)
+        cached2 = PrefixCachedForward(trained_mlp, x2, names)
+        assert cached1.engaged and cached2.engaged
+        assert not np.array_equal(
+            cached1.prefix_activation().data, cached2.prefix_activation().data
+        )
+        # Each instance reproduces the golden forward of *its own* batch
+        with no_grad():
+            for cached, x in ((cached1, x1), (cached2, x2)):
+                assert np.array_equal(
+                    logits_bits(cached.forward()), logits_bits(trained_mlp(x))
+                )
+
+    def test_batched_evaluator_prefix_tracks_injector_batch(self, trained_mlp, moons_eval):
+        """Two injectors over different batches never share prefix activations."""
+        from repro.core import BatchedNetworkEvaluator, BayesianFaultInjector
+
+        eval_x, eval_y = moons_eval
+        spec = TargetSpec.single_layer("layers.2")
+        inj1 = BayesianFaultInjector(trained_mlp, eval_x, eval_y, spec=spec, seed=8)
+        inj2 = BayesianFaultInjector(
+            trained_mlp, eval_x[::-1].copy(), eval_y[::-1].copy(), spec=spec, seed=8
+        )
+        ev1 = BatchedNetworkEvaluator(inj1)
+        ev2 = BatchedNetworkEvaluator(inj2)
+        empty = [FaultConfiguration.empty(inj1.parameter_targets)]
+        with no_grad():
+            golden1 = trained_mlp(inj1._x).data
+            golden2 = trained_mlp(inj2._x).data
+        assert np.array_equal(ev1.evaluate_logits(empty)[0], golden1)
+        assert np.array_equal(ev2.evaluate_logits(empty)[0], golden2)
+        assert not np.array_equal(golden1, golden2)
